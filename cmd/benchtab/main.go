@@ -1,0 +1,111 @@
+// Command benchtab regenerates the paper's evaluation tables and figures:
+//
+//	benchtab -table fig11        the Figure 11 data-set table
+//	benchtab -table fig12        the Figure 12 per-defect results table
+//	benchtab -table fig12 -full  … including the warp/secure pathological
+//	                             case (takes minutes, like the paper's 577 s)
+//	benchtab -table complexity   the §3.5 complexity sweeps
+//	benchtab -table all          everything (without -full, secure is skipped)
+//
+// Measured values are printed alongside the published ones so the shape of
+// the results — who is fast, who is pathological, how machines grow — can be
+// compared directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dprle/internal/core"
+	"dprle/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		table    = fs.String("table", "all", "fig11, fig12, complexity, or all")
+		full     = fs.Bool("full", false, "include the pathological warp/secure case in fig12")
+		minimize = fs.Bool("minimize", false, "solve with intermediate-machine minimization (ablation)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	opts := core.Options{Minimize: *minimize}
+
+	runFig11 := func() int {
+		rows, err := experiments.Figure11()
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtab: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, experiments.FormatFigure11(rows))
+		return 0
+	}
+	runFig12 := func() int {
+		rows, err := experiments.Figure12(opts, !*full)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtab: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, experiments.FormatFigure12(rows))
+		rep := experiments.Shape(rows)
+		fmt.Fprintf(stdout, "shape: all exploitable=%v, sub-second defects=%d/16, slowest ordinary=%.3fs",
+			rep.AllExploitable, rep.FastCount, rep.SlowestOrdinary.Seconds())
+		if rep.PathologicalSkip {
+			fmt.Fprintf(stdout, ", secure skipped (use -full)\n")
+		} else {
+			fmt.Fprintf(stdout, ", secure=%.1fs\n", rep.Pathological.Seconds())
+		}
+		return 0
+	}
+	runAblation := func() int {
+		const defect = "utopia/styles"
+		rows, err := experiments.Ablation(defect)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtab: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, experiments.FormatAblation(defect, rows))
+		return 0
+	}
+	runComplexity := func() int {
+		out, err := experiments.ComplexityTable([]int{4, 8, 16, 32, 64})
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtab: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, out)
+		return 0
+	}
+
+	switch *table {
+	case "fig11":
+		return runFig11()
+	case "fig12":
+		return runFig12()
+	case "complexity":
+		return runComplexity()
+	case "ablation":
+		return runAblation()
+	case "all":
+		if rc := runFig11(); rc != 0 {
+			return rc
+		}
+		if rc := runFig12(); rc != 0 {
+			return rc
+		}
+		if rc := runAblation(); rc != 0 {
+			return rc
+		}
+		return runComplexity()
+	}
+	fmt.Fprintf(stderr, "benchtab: unknown table %q\n", *table)
+	return 2
+}

@@ -1,0 +1,102 @@
+// Command dprle is the stand-alone constraint solver: it reads a system of
+// subset constraints over regular languages (see internal/textio for the
+// format) and prints every disjunctive maximal satisfying assignment — the
+// reproduction of the paper's released dprle utility ("implemented … as a
+// stand-alone utility in the style of a theorem prover or SAT solver", §4).
+//
+// Usage:
+//
+//	dprle [flags] [file.dprle]
+//
+// With no file, the system is read from standard input. Exit status is 0
+// when an assignment exists, 1 when "no assignments found", 2 on errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dprle/internal/core"
+	"dprle/internal/textio"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dprle", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		maxSol   = fs.Int("max", 0, "cap on disjunctive assignments (0 = default)")
+		minimize = fs.Bool("minimize", false, "minimize intermediate machines")
+		raw      = fs.Bool("raw", false, "track constant machines verbatim (paper-prototype mode)")
+		nomax    = fs.Bool("nomaximalize", false, "skip the maximality fixpoint (raw seam disjuncts)")
+		enum     = fs.Int("enum", 0, "also list up to N language members per variable")
+		enumLen  = fs.Int("enumlen", 12, "maximum member length for -enum")
+		dotVar   = fs.String("dot", "", "print the first assignment's machine for this variable in Graphviz DOT")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var src []byte
+	var err error
+	switch fs.NArg() {
+	case 0:
+		src, err = io.ReadAll(stdin)
+	case 1:
+		src, err = os.ReadFile(fs.Arg(0))
+	default:
+		fmt.Fprintln(stderr, "dprle: at most one input file")
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "dprle: %v\n", err)
+		return 2
+	}
+
+	sys, err := textio.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(stderr, "dprle: %v\n", err)
+		return 2
+	}
+	res, err := core.Solve(sys, core.Options{
+		MaxSolutions: *maxSol,
+		Minimize:     *minimize,
+		RawConstants: *raw,
+		NoMaximalize: *nomax,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "dprle: %v\n", err)
+		return 2
+	}
+	fmt.Fprint(stdout, textio.FormatResult(sys, res))
+	if *enum > 0 && res.Sat() {
+		for i, a := range res.Assignments {
+			fmt.Fprintf(stdout, "members of assignment %d:\n", i+1)
+			for _, v := range sys.Vars() {
+				fmt.Fprintf(stdout, "  %s: %q\n", v, a.Lookup(v).Enumerate(*enumLen, *enum))
+			}
+		}
+	}
+	if *dotVar != "" && res.Sat() {
+		known := false
+		for _, v := range sys.Vars() {
+			if v == *dotVar {
+				known = true
+			}
+		}
+		if !known {
+			fmt.Fprintf(stderr, "dprle: unknown variable %q for -dot\n", *dotVar)
+			return 2
+		}
+		fmt.Fprint(stdout, res.First().Lookup(*dotVar).Dot(*dotVar))
+	}
+	if !res.Sat() {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSolvesStdin(t *testing.T) {
+	in := strings.NewReader(`
+const filter := match /[\d]+$/;
+const unsafe := match /'/;
+input <= filter;
+"nid_" . input <= unsafe;
+`)
+	var out, errb strings.Builder
+	rc := run(nil, in, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc = %d, stderr %q", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "assignment 1:") || !strings.Contains(out.String(), "input = ") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestRunSolvesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sys.dprle")
+	src := "const c := re /ab*/;\nv <= c;\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	rc := run([]string{"-enum", "3", path}, strings.NewReader(""), &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc = %d, stderr %q", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "members of assignment 1:") {
+		t.Fatalf("missing enumeration: %q", out.String())
+	}
+}
+
+func TestRunUnsatExitCode(t *testing.T) {
+	in := strings.NewReader("const a := re /x/;\nconst b := re /y/;\nv <= a;\nv <= b;\n")
+	var out, errb strings.Builder
+	rc := run(nil, in, &out, &errb)
+	if rc != 1 {
+		t.Fatalf("rc = %d, want 1", rc)
+	}
+	if !strings.Contains(out.String(), "no assignments found") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestRunParseError(t *testing.T) {
+	var out, errb strings.Builder
+	rc := run(nil, strings.NewReader("v <= undeclared;"), &out, &errb)
+	if rc != 2 || !strings.Contains(errb.String(), "dprle:") {
+		t.Fatalf("rc = %d, stderr %q", rc, errb.String())
+	}
+}
+
+func TestRunTooManyArgs(t *testing.T) {
+	var out, errb strings.Builder
+	if rc := run([]string{"a", "b"}, strings.NewReader(""), &out, &errb); rc != 2 {
+		t.Fatalf("rc = %d, want 2", rc)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out, errb strings.Builder
+	if rc := run([]string{"/nonexistent/x.dprle"}, strings.NewReader(""), &out, &errb); rc != 2 {
+		t.Fatalf("rc = %d, want 2", rc)
+	}
+}
+
+func TestRunFlagVariants(t *testing.T) {
+	src := "const c := re /a+/;\nv <= c;\n"
+	for _, flags := range [][]string{
+		{"-minimize"}, {"-raw"}, {"-nomaximalize"}, {"-max", "2"},
+	} {
+		var out, errb strings.Builder
+		rc := run(flags, strings.NewReader(src), &out, &errb)
+		if rc != 0 {
+			t.Fatalf("flags %v: rc = %d, stderr %q", flags, rc, errb.String())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if rc := run([]string{"-bogus"}, strings.NewReader(""), &out, &errb); rc != 2 {
+		t.Fatalf("rc = %d, want 2", rc)
+	}
+}
+
+func TestRunDotOutput(t *testing.T) {
+	src := "const c := re /ab/;\nv <= c;\n"
+	var out, errb strings.Builder
+	if rc := run([]string{"-dot", "v"}, strings.NewReader(src), &out, &errb); rc != 0 {
+		t.Fatalf("rc = %d, stderr %q", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "digraph") {
+		t.Fatalf("missing DOT output: %q", out.String())
+	}
+	var out2, errb2 strings.Builder
+	if rc := run([]string{"-dot", "nosuch"}, strings.NewReader(src), &out2, &errb2); rc != 2 {
+		t.Fatalf("unknown -dot variable rc = %d", rc)
+	}
+}

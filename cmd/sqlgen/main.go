@@ -1,0 +1,177 @@
+// Command sqlgen analyzes PHP-subset source files for SQL-injection and XSS
+// vulnerabilities and generates exploiting HTTP inputs — the reproduction of
+// the paper's prototype that extends Wassermann & Su-style defect reports
+// with automatically generated testcases (§4).
+//
+// Usage:
+//
+//	sqlgen [flags] file.php...          analyze source files
+//	sqlgen [flags] -defect warp/secure  analyze a generated corpus defect
+//	sqlgen -list                        list the corpus defects
+//
+// Exit status is 0 when no vulnerability is found, 1 when findings are
+// reported, 2 on errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dprle/internal/corpus"
+	"dprle/internal/policy"
+	"dprle/internal/symexec"
+)
+
+// jsonReport is the machine-readable output of -json mode.
+type jsonReport struct {
+	Name        string        `json:"name"`
+	Blocks      int           `json:"blocks"`
+	Paths       int           `json:"paths"`
+	Constraints int           `json:"constraints"`
+	Findings    []jsonFinding `json:"findings"`
+}
+
+type jsonFinding struct {
+	Line   int               `json:"line"`
+	Kind   string            `json:"kind"`
+	Inputs map[string]string `json:"inputs"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sqlgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		defect   = fs.String("defect", "", "analyze a corpus defect (app/name) instead of files")
+		app      = fs.String("app", "", "analyze a whole corpus application tree (eve, utopia, warp)")
+		list     = fs.Bool("list", false, "list the corpus defects and exit")
+		polName  = fs.String("policy", "quote", "SQL policy: quote, comment, tautology, stacked, any")
+		allPaths = fs.Bool("all-paths", false, "report every feasible path, not just the first per sink")
+		maxPaths = fs.Int("max-paths", 0, "path enumeration cap (0 = default)")
+		asJSON   = fs.Bool("json", false, "emit machine-readable JSON reports")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, d := range corpus.Defects() {
+			fmt.Fprintf(stdout, "%s/%s\t|FG|=%d |C|=%d paper TS=%.3fs\n", d.App, d.Name, d.WantFG, d.WantC, d.PaperTS)
+		}
+		return 0
+	}
+
+	cfgc := symexec.DefaultConfig()
+	cfgc.FirstPerSink = !*allPaths
+	cfgc.MaxPaths = *maxPaths
+	switch *polName {
+	case "quote":
+		cfgc.SQL = policy.SQLQuote()
+	case "comment":
+		cfgc.SQL = policy.SQLComment()
+	case "tautology":
+		cfgc.SQL = policy.SQLTautology()
+	case "stacked":
+		cfgc.SQL = policy.SQLStacked()
+	case "any":
+		cfgc.SQL = policy.Combined("sql-any",
+			policy.SQLQuote(), policy.SQLComment(), policy.SQLTautology(), policy.SQLStacked())
+	default:
+		fmt.Fprintf(stderr, "sqlgen: unknown policy %q\n", *polName)
+		return 2
+	}
+
+	type unit struct{ name, src string }
+	var units []unit
+	if *app != "" {
+		found := false
+		for _, a := range corpus.Apps() {
+			if a.Name != *app {
+				continue
+			}
+			found = true
+			files, err := corpus.GenerateApp(a)
+			if err != nil {
+				fmt.Fprintf(stderr, "sqlgen: %v\n", err)
+				return 2
+			}
+			for _, f := range files {
+				units = append(units, unit{name: a.Name + "/" + f.Name + ".php", src: f.Source})
+			}
+		}
+		if !found {
+			fmt.Fprintf(stderr, "sqlgen: unknown app %q (eve, utopia, warp)\n", *app)
+			return 2
+		}
+	}
+	if *defect != "" {
+		d, ok := corpus.DefectByName(*defect)
+		if !ok {
+			fmt.Fprintf(stderr, "sqlgen: unknown defect %q (try -list)\n", *defect)
+			return 2
+		}
+		src, err := corpus.Source(d)
+		if err != nil {
+			fmt.Fprintf(stderr, "sqlgen: %v\n", err)
+			return 2
+		}
+		units = append(units, unit{name: *defect, src: src})
+	}
+	for _, f := range fs.Args() {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "sqlgen: %v\n", err)
+			return 2
+		}
+		units = append(units, unit{name: f, src: string(data)})
+	}
+	if len(units) == 0 {
+		fmt.Fprintln(stderr, "sqlgen: nothing to analyze (pass files or -defect)")
+		return 2
+	}
+
+	vulnerable := false
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	for _, u := range units {
+		findings, stats, err := symexec.AnalyzeSource(u.name, u.src, cfgc)
+		if err != nil {
+			fmt.Fprintf(stderr, "sqlgen: %s: %v\n", u.name, err)
+			return 2
+		}
+		if len(findings) > 0 {
+			vulnerable = true
+		}
+		if *asJSON {
+			rep := jsonReport{
+				Name: u.name, Blocks: stats.Blocks, Paths: stats.Paths,
+				Constraints: stats.Constraints, Findings: []jsonFinding{},
+			}
+			for _, f := range findings {
+				rep.Findings = append(rep.Findings, jsonFinding{
+					Line: f.Line, Kind: f.Kind.String(), Inputs: f.Inputs,
+				})
+			}
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(stderr, "sqlgen: %v\n", err)
+				return 2
+			}
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: |FG|=%d paths=%d |C|=%d findings=%d\n",
+			u.name, stats.Blocks, stats.Paths, stats.Constraints, len(findings))
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "  %s\n", f.String())
+		}
+	}
+	if vulnerable {
+		return 1
+	}
+	return 0
+}

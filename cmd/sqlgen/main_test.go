@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefect(t *testing.T) {
+	var out, errb strings.Builder
+	rc := run([]string{"-defect", "eve/edit"}, &out, &errb)
+	if rc != 1 {
+		t.Fatalf("rc = %d (want 1 = vulnerable), stderr %q", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "|FG|=58") || !strings.Contains(out.String(), "|C|=29") {
+		t.Fatalf("metrics missing: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "sql injection via") {
+		t.Fatalf("finding missing: %q", out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errb strings.Builder
+	rc := run([]string{"-list"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc = %d", rc)
+	}
+	if got := strings.Count(out.String(), "\n"); got != 17 {
+		t.Fatalf("listed %d defects, want 17", got)
+	}
+	if !strings.Contains(out.String(), "warp/secure") {
+		t.Fatal("secure missing from list")
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "page.php")
+	src := `<?php
+$id = $_GET['id'];
+if (!preg_match('/[0-9]$/', $id)) { exit; }
+query("SELECT " . $id);
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	rc := run([]string{path}, &out, &errb)
+	if rc != 1 {
+		t.Fatalf("rc = %d, stderr %q", rc, errb.String())
+	}
+}
+
+func TestRunSafeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "safe.php")
+	src := `<?php
+$id = $_GET['id'];
+if (!preg_match('/^[0-9]+$/', $id)) { exit; }
+query("SELECT " . $id);
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	rc := run([]string{path}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc = %d (want 0 = safe), out %q", rc, out.String())
+	}
+	if !strings.Contains(out.String(), "findings=0") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestRunPolicies(t *testing.T) {
+	for _, pol := range []string{"quote", "comment", "tautology", "stacked", "any"} {
+		var out, errb strings.Builder
+		rc := run([]string{"-policy", pol, "-defect", "utopia/login"}, &out, &errb)
+		if rc != 1 {
+			t.Fatalf("policy %s: rc = %d", pol, rc)
+		}
+	}
+	var out, errb strings.Builder
+	if rc := run([]string{"-policy", "bogus", "-defect", "eve/edit"}, &out, &errb); rc != 2 {
+		t.Fatalf("bad policy rc = %d", rc)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if rc := run(nil, &out, &errb); rc != 2 {
+		t.Fatalf("no input rc = %d", rc)
+	}
+	if rc := run([]string{"-defect", "no/such"}, &out, &errb); rc != 2 {
+		t.Fatalf("bad defect rc = %d", rc)
+	}
+	if rc := run([]string{"/nonexistent.php"}, &out, &errb); rc != 2 {
+		t.Fatalf("missing file rc = %d", rc)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out, errb strings.Builder
+	rc := run([]string{"-json", "-defect", "utopia/login"}, &out, &errb)
+	if rc != 1 {
+		t.Fatalf("rc = %d, stderr %q", rc, errb.String())
+	}
+	var rep struct {
+		Name        string `json:"name"`
+		Blocks      int    `json:"blocks"`
+		Constraints int    `json:"constraints"`
+		Findings    []struct {
+			Kind   string            `json:"kind"`
+			Inputs map[string]string `json:"inputs"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Blocks != 295 || rep.Constraints != 16 || len(rep.Findings) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Findings[0].Kind != "sql" || !strings.Contains(rep.Findings[0].Inputs["POST:login_id"], "'") {
+		t.Fatalf("finding = %+v", rep.Findings[0])
+	}
+}
+
+func TestRunWholeApp(t *testing.T) {
+	var out, errb strings.Builder
+	rc := run([]string{"-app", "eve"}, &out, &errb)
+	if rc != 1 {
+		t.Fatalf("rc = %d, stderr %q", rc, errb.String())
+	}
+	// 8 files reported; exactly the edit.php defect found.
+	if got := strings.Count(out.String(), "findings="); got != 8 {
+		t.Fatalf("reported %d files, want 8", got)
+	}
+	if got := strings.Count(out.String(), "sql injection via"); got != 1 {
+		t.Fatalf("findings = %d, want 1", got)
+	}
+	var out2, errb2 strings.Builder
+	if rc := run([]string{"-app", "nope"}, &out2, &errb2); rc != 2 {
+		t.Fatalf("unknown app rc = %d", rc)
+	}
+}

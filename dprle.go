@@ -1,0 +1,205 @@
+package dprle
+
+import "dprle/internal/core"
+
+// Expr is the left-hand side of a subset constraint: a variable, a constant,
+// a concatenation, or a union of expressions.
+type Expr struct {
+	e core.Expr
+}
+
+// V references the language variable with the given name.
+func V(name string) Expr { return Expr{e: core.Var{Name: name}} }
+
+// Concat concatenates expressions left to right.
+func Concat(exprs ...Expr) Expr {
+	if len(exprs) == 0 {
+		panic("dprle: Concat of no expressions")
+	}
+	out := exprs[0].e
+	for _, x := range exprs[1:] {
+		out = core.Cat{Left: out, Right: x.e}
+	}
+	return Expr{e: out}
+}
+
+// Or forms the union of two expressions (extension, paper §3.1.2).
+func Or(a, b Expr) Expr { return Expr{e: core.Or{Left: a.e, Right: b.e}} }
+
+// Options configures solving. The zero value uses the defaults.
+type Options struct {
+	// MaxSolutions caps the number of disjunctive assignments returned.
+	MaxSolutions int
+	// Minimize applies DFA minimization to intermediate machines.
+	Minimize bool
+	// RawConstants tracks constant machines verbatim instead of
+	// canonicalizing them first, matching the paper's prototype (and its
+	// pathological `secure` case).
+	RawConstants bool
+	// NoMaximalize skips the maximality fixpoint; returned disjuncts then
+	// mirror the raw seam structure (ablation).
+	NoMaximalize bool
+}
+
+func (o Options) toCore() core.Options {
+	return core.Options{
+		MaxSolutions: o.MaxSolutions,
+		Minimize:     o.Minimize,
+		RawConstants: o.RawConstants,
+		NoMaximalize: o.NoMaximalize,
+	}
+}
+
+// System is an RMA problem instance under construction.
+type System struct {
+	inner *core.System
+}
+
+// NewSystem returns an empty constraint system.
+func NewSystem() *System { return &System{inner: core.NewSystem()} }
+
+// Named interns a constant language under the given name and returns it as
+// an expression usable on left-hand sides.
+func (s *System) Named(name string, l Lang) (Expr, error) {
+	c, err := s.inner.Const(name, l.machine())
+	if err != nil {
+		return Expr{}, err
+	}
+	return Expr{e: c}, nil
+}
+
+// MustNamed is Named for statically known constants.
+func (s *System) MustNamed(name string, l Lang) Expr {
+	e, err := s.Named(name, l)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Lit interns the singleton language {str} as a constant expression.
+func (s *System) Lit(str string) Expr {
+	return Expr{e: s.inner.AnonConst(LitLang(str).machine())}
+}
+
+// Require adds the constraint e ⊆ rhs, interning rhs under rhsName.
+func (s *System) Require(e Expr, rhsName string, rhs Lang) error {
+	c, err := s.inner.Const(rhsName, rhs.machine())
+	if err != nil {
+		return err
+	}
+	return s.inner.Add(e.e, c)
+}
+
+// MustRequire is Require that panics on error.
+func (s *System) MustRequire(e Expr, rhsName string, rhs Lang) {
+	if err := s.Require(e, rhsName, rhs); err != nil {
+		panic(err)
+	}
+}
+
+// Vars lists the registered variable names in first-use order.
+func (s *System) Vars() []string { return s.inner.Vars() }
+
+// String renders the system one constraint per line.
+func (s *System) String() string { return s.inner.String() }
+
+// Assignment maps variables to regular languages.
+type Assignment struct {
+	inner core.Assignment
+}
+
+// Get returns the language assigned to the variable (∅ for unknown names).
+func (a Assignment) Get(name string) Lang { return wrap(a.inner.Lookup(name)) }
+
+// Witnesses returns a shortest concrete string per variable — the form a
+// testcase generator consumes. It fails if any variable is empty.
+func (a Assignment) Witnesses() (map[string]string, error) {
+	return core.Witnesses(a.inner)
+}
+
+// Result holds the disjunctive solutions of a Solve call.
+type Result struct {
+	// Assignments are the maximal satisfying assignments found.
+	Assignments []Assignment
+	// Truncated reports that enumeration stopped at a configured bound.
+	Truncated bool
+}
+
+// Sat reports whether at least one assignment was found.
+func (r *Result) Sat() bool { return len(r.Assignments) > 0 }
+
+// First returns the first assignment; it panics when unsat (check Sat).
+func (r *Result) First() Assignment {
+	if len(r.Assignments) == 0 {
+		panic("dprle: First on an unsatisfiable result")
+	}
+	return r.Assignments[0]
+}
+
+// Solve runs the decision procedure and returns all disjunctive maximal
+// satisfying assignments (up to configured bounds). An empty result means no
+// assignment gives every variable a nonempty language.
+func (s *System) Solve(opts Options) (*Result, error) {
+	res, err := core.Solve(s.inner, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Truncated: res.Truncated}
+	for _, a := range res.Assignments {
+		out.Assignments = append(out.Assignments, Assignment{inner: a})
+	}
+	return out, nil
+}
+
+// SolveFor solves only the parts of the system the given variables depend
+// on — the paper's "solving either part or all of the graph depending on
+// the needs of the client analysis" (§4). Variables outside the requested
+// dependency region are reported as Σ*.
+func (s *System) SolveFor(interest []string, opts Options) (*Result, error) {
+	res, err := core.SolveFor(s.inner, interest, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Truncated: res.Truncated}
+	for _, a := range res.Assignments {
+		out.Assignments = append(out.Assignments, Assignment{inner: a})
+	}
+	return out, nil
+}
+
+// Decide answers the decision problem for the given variables: it returns an
+// assignment covering them with nonempty languages, or ok=false when none
+// exists (the paper's "no assignments found").
+func (s *System) Decide(interest []string, opts Options) (Assignment, bool, error) {
+	a, ok, err := core.Decide(s.inner, interest, opts.toCore())
+	if err != nil || !ok {
+		return Assignment{}, false, err
+	}
+	return Assignment{inner: a}, true, nil
+}
+
+// Satisfies reports whether the assignment meets every constraint of the
+// system — an independent check of the solver's Satisfying condition.
+func (s *System) Satisfies(a Assignment) bool {
+	return core.Satisfies(s.inner, a.inner)
+}
+
+// CheckMaximal verifies the assignment cannot be extended (the Maximal
+// condition); the returned error describes a violating variable and witness.
+func (s *System) CheckMaximal(a Assignment) error {
+	return core.CheckMaximal(s.inner, a.inner)
+}
+
+// NewAssignment builds an assignment from explicit variable languages, for
+// use with Satisfies/CheckMaximal.
+func NewAssignment(vars map[string]Lang) Assignment {
+	inner := core.Assignment{}
+	for name, l := range vars {
+		inner[name] = l.machine()
+	}
+	return Assignment{inner: inner}
+}
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

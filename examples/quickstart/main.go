@@ -1,0 +1,66 @@
+// Quickstart: solve the paper's motivating constraint system with the dprle
+// public API.
+//
+// The system models Figure 1 of the paper: user input passes the faulty
+// filter preg_match('/[\d]+$/', …) — note the missing ^ anchor — and is then
+// concatenated after "nid_" into a SQL query. Solving
+//
+//	input ⊆ L(filter)
+//	"nid_" · input ⊆ L(unsafe)
+//
+// yields the full regular language of exploiting inputs, from which a
+// concrete testcase is extracted.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dprle"
+)
+
+func main() {
+	sys := dprle.NewSystem()
+
+	// The faulty filter: matches when the input *ends* with digits, because
+	// the ^ anchor is missing (paper §2).
+	filter := dprle.MustMatchLang(`[\d]+$`)
+	// The unsafe-query approximation: the query contains a single quote.
+	unsafe := dprle.MustMatchLang(`'`)
+
+	sys.MustRequire(dprle.V("input"), "filter", filter)
+	sys.MustRequire(dprle.Concat(sys.Lit("nid_"), dprle.V("input")), "unsafe", unsafe)
+
+	res, err := sys.Solve(dprle.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Sat() {
+		fmt.Println("no assignments found — the code is not vulnerable")
+		return
+	}
+
+	lang := res.First().Get("input")
+	witness, _ := lang.Witness()
+	fmt.Printf("system:\n%s\n", sys)
+	fmt.Printf("disjunctive assignments: %d\n", len(res.Assignments))
+	fmt.Printf("exploit language: %v\n", lang)
+	fmt.Printf("shortest exploit: %q\n", witness)
+	fmt.Printf("sample exploits:  %q\n", lang.Enumerate(4, 8))
+
+	// The paper's example attack is in the language too.
+	attack := "' OR 1=1 ; DROP news --9"
+	fmt.Printf("paper's attack %q in language: %v\n", attack, lang.Accepts(attack))
+
+	// A fixed filter (anchored on both sides) makes the system unsat.
+	fixed := dprle.NewSystem()
+	fixed.MustRequire(dprle.V("input"), "filter", dprle.MustMatchLang(`^[\d]+$`))
+	fixed.MustRequire(dprle.Concat(fixed.Lit("nid_"), dprle.V("input")), "unsafe", unsafe)
+	res2, err := fixed.Solve(dprle.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with the ^ anchor restored, satisfiable: %v\n", res2.Sat())
+}

@@ -1,0 +1,71 @@
+// Cross-site scripting: the paper notes its decision procedure applies
+// beyond SQL injection, "e.g., to cross-site scripting or XML generation"
+// (§2). This example analyzes a guestbook-style page whose allowlist filter
+// is too permissive and derives a stored-XSS payload for it.
+//
+// Run with: go run ./examples/xss
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dprle"
+	"dprle/webcheck"
+)
+
+const guestbook = `<?php
+// A guestbook that tries to sanitize the message with an allowlist —
+// but the allowlist admits angle brackets.
+$msg = $_GET['message'];
+if (!preg_match('/^[a-zA-Z0-9 <>\/=.!?]+$/', $msg)) {
+    exit;
+}
+$author = $_GET['author'];
+if (!preg_match('/^[a-zA-Z]{1,16}$/', $author)) {
+    exit;
+}
+echo "<div class=entry><b>" . $author . "</b>: " . $msg . "</div>";
+`
+
+func main() {
+	report, err := webcheck.AnalyzeSource("guestbook.php", guestbook)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !report.Vulnerable() {
+		fmt.Println("no XSS found")
+		return
+	}
+	for _, f := range report.Findings {
+		fmt.Println(f)
+	}
+
+	// The same check, phrased directly as a constraint system: which
+	// messages pass the filter AND make the page contain "<script"?
+	sys := dprle.NewSystem()
+	sys.MustRequire(dprle.V("message"), "filter",
+		dprle.MustMatchLang(`^[a-zA-Z0-9 <>\/=.!?]+$`))
+	sys.MustRequire(
+		dprle.Concat(sys.Lit("<div class=entry><b>anon</b>: "), dprle.V("message"), sys.Lit("</div>")),
+		"xss", dprle.MustMatchLang(`<script`))
+	res, err := sys.Solve(dprle.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload, _ := res.First().Get("message").Witness()
+	fmt.Printf("direct constraint query payload: %q\n", payload)
+
+	// Tightening the filter to reject '<' proves the page safe.
+	safe := dprle.NewSystem()
+	safe.MustRequire(dprle.V("message"), "filter",
+		dprle.MustMatchLang(`^[a-zA-Z0-9 =.!?]+$`))
+	safe.MustRequire(
+		dprle.Concat(safe.Lit("<div>"), dprle.V("message"), safe.Lit("</div>")),
+		"xss", dprle.MustMatchLang(`<script`))
+	res2, err := safe.Solve(dprle.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with '<' forbidden, exploitable: %v\n", res2.Sat())
+}

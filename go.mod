@@ -1,0 +1,3 @@
+module dprle
+
+go 1.22

@@ -1,0 +1,134 @@
+// Package cfg builds control-flow graphs for PHP-subset programs and
+// enumerates loop-free paths to security sinks. The basic-block count is the
+// |FG| metric reported in the paper's Figure 12; the enumerated paths feed
+// the symbolic executor that generates regular-language constraint systems.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"dprle/internal/lang"
+)
+
+// Edge is a control-flow edge, optionally guarded by a branch condition.
+type Edge struct {
+	To    int
+	Cond  lang.Cond // nil for unconditional edges
+	Taken bool      // branch polarity when Cond is non-nil
+}
+
+// Block is a basic block: a maximal straight-line statement sequence.
+type Block struct {
+	ID       int
+	Stmts    []lang.Stmt
+	Succs    []Edge
+	Terminal bool // ends in exit (or program end)
+}
+
+// CFG is the control-flow graph of one program.
+type CFG struct {
+	Blocks []*Block
+	Entry  int
+}
+
+// NumBlocks returns |FG|, the basic-block count of Figure 12.
+func (c *CFG) NumBlocks() int { return len(c.Blocks) }
+
+type builder struct {
+	blocks []*Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{ID: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// Build constructs the CFG of a program.
+func Build(prog *lang.Program) *CFG {
+	b := &builder{}
+	entry := b.newBlock()
+	exit := b.build(prog.Stmts, entry)
+	if exit != nil {
+		exit.Terminal = true
+	}
+	return &CFG{Blocks: b.blocks, Entry: entry.ID}
+}
+
+// build threads stmts through cur, returning the block control falls out of
+// (nil if every path exits).
+func (b *builder) build(stmts []lang.Stmt, cur *Block) *Block {
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case *lang.Exit:
+			cur.Stmts = append(cur.Stmts, s)
+			cur.Terminal = true
+			// Anything after exit is unreachable; still build it so the
+			// block count reflects the source (dead blocks have no preds).
+			if i+1 < len(stmts) {
+				dead := b.newBlock()
+				if after := b.build(stmts[i+1:], dead); after != nil {
+					after.Terminal = true
+				}
+			}
+			return nil
+		case *lang.While:
+			header := b.newBlock()
+			cur.Succs = append(cur.Succs, Edge{To: header.ID})
+			body := b.newBlock()
+			header.Succs = append(header.Succs, Edge{To: body.ID, Cond: s.Cond, Taken: true})
+			exit := b.newBlock()
+			header.Succs = append(header.Succs, Edge{To: exit.ID, Cond: s.Cond, Taken: false})
+			if bodyExit := b.build(s.Body, body); bodyExit != nil {
+				bodyExit.Succs = append(bodyExit.Succs, Edge{To: header.ID}) // back edge
+			}
+			cur = exit
+		case *lang.If:
+			thenEntry := b.newBlock()
+			cur.Succs = append(cur.Succs, Edge{To: thenEntry.ID, Cond: s.Cond, Taken: true})
+			thenExit := b.build(s.Then, thenEntry)
+
+			var elseExit *Block
+			if len(s.Else) > 0 {
+				elseEntry := b.newBlock()
+				cur.Succs = append(cur.Succs, Edge{To: elseEntry.ID, Cond: s.Cond, Taken: false})
+				elseExit = b.build(s.Else, elseEntry)
+			}
+
+			join := b.newBlock()
+			if len(s.Else) == 0 {
+				// Fall-through edge carries the negated condition.
+				cur.Succs = append(cur.Succs, Edge{To: join.ID, Cond: s.Cond, Taken: false})
+			}
+			if thenExit != nil {
+				thenExit.Succs = append(thenExit.Succs, Edge{To: join.ID})
+			}
+			if elseExit != nil {
+				elseExit.Succs = append(elseExit.Succs, Edge{To: join.ID})
+			}
+			cur = join
+		default:
+			cur.Stmts = append(cur.Stmts, s)
+		}
+	}
+	return cur
+}
+
+// Dot renders the CFG in Graphviz format for inspection.
+func (c *CFG) Dot(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=box];\n", name)
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "  b%d [label=\"B%d (%d stmts)\"];\n", blk.ID, blk.ID, len(blk.Stmts))
+		for _, e := range blk.Succs {
+			label := ""
+			if e.Cond != nil {
+				label = fmt.Sprintf("%v", e.Taken)
+			}
+			fmt.Fprintf(&sb, "  b%d -> b%d [label=%q];\n", blk.ID, e.To, label)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

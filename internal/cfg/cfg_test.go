@@ -1,0 +1,207 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"dprle/internal/lang"
+)
+
+const figure1 = `<?php
+$newsid = $_POST['posted_newsid'];
+if (!preg_match('/[\d]+$/', $newsid)) {
+    unp_msgBox('Invalid article newsID.');
+    exit;
+}
+$newsid = "nid_" . $newsid;
+$idnews = query("SELECT * FROM news" . " WHERE newsid=$newsid");
+`
+
+func TestBuildFigure1(t *testing.T) {
+	prog := lang.MustParse("fig1.php", figure1)
+	g := Build(prog)
+	// entry, then-block (exits), join: 3 blocks.
+	if g.NumBlocks() != 3 {
+		t.Fatalf("blocks = %d, want 3\n%s", g.NumBlocks(), g.Dot("fig1"))
+	}
+	entry := g.Blocks[g.Entry]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry successors = %d", len(entry.Succs))
+	}
+	// Both edges carry the preg_match condition with opposite polarity.
+	if entry.Succs[0].Cond == nil || entry.Succs[1].Cond == nil {
+		t.Fatal("branch edges must carry the condition")
+	}
+	if entry.Succs[0].Taken == entry.Succs[1].Taken {
+		t.Fatal("branch polarities must differ")
+	}
+}
+
+func TestBuildIfElse(t *testing.T) {
+	prog := lang.MustParse("t.php", `
+$x = 'a';
+if ($q) { $x = 'b'; } else { $x = 'c'; }
+$y = $x;
+`)
+	g := Build(prog)
+	// entry, then, else, join = 4.
+	if g.NumBlocks() != 4 {
+		t.Fatalf("blocks = %d, want 4", g.NumBlocks())
+	}
+}
+
+func TestBuildDeadCodeAfterExit(t *testing.T) {
+	prog := lang.MustParse("t.php", `
+exit;
+$x = 'dead';
+`)
+	g := Build(prog)
+	if g.NumBlocks() != 2 {
+		t.Fatalf("blocks = %d, want 2 (entry + dead)", g.NumBlocks())
+	}
+}
+
+func TestBuildNestedIfs(t *testing.T) {
+	prog := lang.MustParse("t.php", `
+if ($a) { if ($b) { $x = '1'; } }
+$y = '2';
+`)
+	g := Build(prog)
+	// entry, outer-then, inner-then, inner-join, outer-join = 5.
+	if g.NumBlocks() != 5 {
+		t.Fatalf("blocks = %d, want 5", g.NumBlocks())
+	}
+	if !strings.Contains(g.Dot("t"), "digraph") {
+		t.Fatal("Dot output malformed")
+	}
+}
+
+func TestPathsToSinksFigure1(t *testing.T) {
+	prog := lang.MustParse("fig1.php", figure1)
+	paths := PathsToSinks(prog, 0)
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+	p := paths[0]
+	if p.Kind != SinkSQL {
+		t.Fatalf("kind = %v", p.Kind)
+	}
+	// The path passes the guard (condition false: preg_match matched) and
+	// executes the two assignments before the sink.
+	var conds, stmts int
+	for _, s := range p.Steps {
+		switch st := s.(type) {
+		case CondStep:
+			conds++
+			pm := st.Cond.(*lang.PregMatch)
+			if !pm.Negated || st.Taken {
+				t.Fatalf("guard must be the negated match NOT taken; got taken=%v", st.Taken)
+			}
+		case StmtStep:
+			stmts++
+		}
+	}
+	if conds != 1 || stmts != 2 {
+		t.Fatalf("conds = %d stmts = %d, want 1/2", conds, stmts)
+	}
+}
+
+func TestPathsBranchBothWays(t *testing.T) {
+	prog := lang.MustParse("t.php", `
+$x = $_GET['x'];
+if (preg_match('/a/', $x)) { $y = 'yes'; } else { $y = 'no'; }
+query($y . $x);
+`)
+	paths := PathsToSinks(prog, 0)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+}
+
+func TestPathsStopAtExitBranches(t *testing.T) {
+	prog := lang.MustParse("t.php", `
+$x = $_GET['x'];
+if (preg_match('/a/', $x)) { exit; }
+query($x);
+`)
+	paths := PathsToSinks(prog, 0)
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1 (then-branch exits)", len(paths))
+	}
+	cs := paths[0].Steps[1].(CondStep)
+	if cs.Taken {
+		t.Fatal("surviving path must not take the exiting branch")
+	}
+}
+
+func TestPathsAllBranchesExit(t *testing.T) {
+	prog := lang.MustParse("t.php", `
+if ($a) { exit; } else { exit; }
+query($x);
+`)
+	paths := PathsToSinks(prog, 0)
+	if len(paths) != 0 {
+		t.Fatalf("paths = %d, want 0 (sink unreachable)", len(paths))
+	}
+}
+
+func TestPathsMultipleSinks(t *testing.T) {
+	prog := lang.MustParse("t.php", `
+$x = $_GET['x'];
+query($x);
+echo $x;
+mysql_query($x);
+$r = query($x);
+`)
+	paths := PathsToSinks(prog, 0)
+	if len(paths) != 4 {
+		t.Fatalf("paths = %d, want 4", len(paths))
+	}
+	kinds := map[SinkKind]int{}
+	for _, p := range paths {
+		kinds[p.Kind]++
+	}
+	if kinds[SinkSQL] != 3 || kinds[SinkXSS] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestPathsExponentialCapped(t *testing.T) {
+	var src strings.Builder
+	src.WriteString("$x = $_GET['x'];\n")
+	for i := 0; i < 12; i++ {
+		src.WriteString("if ($q) { $x = $x . 'a'; }\n")
+	}
+	src.WriteString("query($x);\n")
+	prog := lang.MustParse("t.php", src.String())
+	paths := PathsToSinks(prog, 100)
+	if len(paths) > 100 {
+		t.Fatalf("paths = %d exceeds cap", len(paths))
+	}
+	if len(paths) == 0 {
+		t.Fatal("cap should not eliminate all paths")
+	}
+}
+
+func TestPathPrefixIsolation(t *testing.T) {
+	// Shared prefixes must not alias: mutating one path must not leak.
+	prog := lang.MustParse("t.php", `
+$x = $_GET['x'];
+if ($q) { $y = 'a'; } else { $y = 'b'; }
+query($x . $y);
+`)
+	paths := PathsToSinks(prog, 0)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	paths[0].Steps[0] = CondStep{}
+	if _, ok := paths[1].Steps[0].(CondStep); ok {
+		t.Fatal("paths share step storage")
+	}
+}
+
+func TestSinkKindString(t *testing.T) {
+	if SinkSQL.String() != "sql" || SinkXSS.String() != "xss" {
+		t.Fatal("SinkKind strings wrong")
+	}
+}

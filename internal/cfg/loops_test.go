@@ -1,0 +1,115 @@
+package cfg
+
+import (
+	"testing"
+
+	"dprle/internal/lang"
+)
+
+func TestBuildWhileBlocks(t *testing.T) {
+	prog := lang.MustParse("t.php", `
+$x = 'a';
+while ($more) { $x = $x . 'b'; }
+query($x);
+`)
+	g := Build(prog)
+	// entry, header, body, exit = 4 blocks.
+	if g.NumBlocks() != 4 {
+		t.Fatalf("blocks = %d, want 4\n%s", g.NumBlocks(), g.Dot("t"))
+	}
+	// The header must have a back edge pointing at it.
+	backEdges := 0
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if e.To <= blk.ID && e.Cond == nil {
+				backEdges++
+			}
+		}
+	}
+	if backEdges != 1 {
+		t.Fatalf("back edges = %d, want 1", backEdges)
+	}
+}
+
+func TestWhileUnrolling(t *testing.T) {
+	prog := lang.MustParse("t.php", `
+$x = $_GET['x'];
+while ($more) { $x = $x . $_GET['x']; }
+query($x);
+`)
+	paths := PathsToSinks(prog, 0)
+	// 0, 1, and 2 iterations.
+	if len(paths) != MaxLoopUnroll+1 {
+		t.Fatalf("paths = %d, want %d", len(paths), MaxLoopUnroll+1)
+	}
+	// Count loop-entering decisions per path: 0, 1, 2.
+	seen := map[int]bool{}
+	for _, p := range paths {
+		taken := 0
+		for _, s := range p.Steps {
+			if cs, ok := s.(CondStep); ok && cs.Taken {
+				taken++
+			}
+		}
+		seen[taken] = true
+	}
+	for i := 0; i <= MaxLoopUnroll; i++ {
+		if !seen[i] {
+			t.Errorf("no path with %d iterations", i)
+		}
+	}
+}
+
+func TestWhileBodyExits(t *testing.T) {
+	prog := lang.MustParse("t.php", `
+while ($more) { exit; }
+query($x);
+`)
+	paths := PathsToSinks(prog, 0)
+	// Only the 0-iteration path survives (entering the body exits).
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+}
+
+func TestNestedWhile(t *testing.T) {
+	prog := lang.MustParse("t.php", `
+while ($a) { while ($b) { $x = $x . 'i'; } }
+query($x);
+`)
+	paths := PathsToSinks(prog, 0)
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	// 0 outer; 1 outer × (0,1,2 inner); 2 outer × (0,1,2)×(0,1,2) = 1+3+9.
+	if len(paths) != 13 {
+		t.Fatalf("paths = %d, want 13", len(paths))
+	}
+}
+
+func TestWhileWithPregMatchCondition(t *testing.T) {
+	prog := lang.MustParse("t.php", `
+$x = $_GET['x'];
+while (!preg_match('/^done/', $x)) { $x = $x . 'a'; }
+query($x);
+`)
+	paths := PathsToSinks(prog, 0)
+	if len(paths) != MaxLoopUnroll+1 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	// Every path ends the loop with the condition false (match holds).
+	for _, p := range paths {
+		last := -1
+		for i, s := range p.Steps {
+			if _, ok := s.(CondStep); ok {
+				last = i
+			}
+		}
+		if last < 0 {
+			t.Fatal("no condition steps")
+		}
+		if p.Steps[last].(CondStep).Taken {
+			t.Fatal("final loop test must be the exiting one")
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package cfg
+
+import "dprle/internal/lang"
+
+// Step is one element of an execution path: either a straight-line statement
+// or a branch decision.
+type Step interface {
+	step()
+}
+
+// StmtStep records execution of a non-branching statement.
+type StmtStep struct{ S lang.Stmt }
+
+// CondStep records taking a branch: Cond evaluated to Taken.
+type CondStep struct {
+	Cond  lang.Cond
+	Taken bool
+}
+
+func (StmtStep) step() {}
+func (CondStep) step() {}
+
+// SinkKind classifies security sinks.
+type SinkKind int
+
+const (
+	// SinkSQL is a database query call (SQL injection).
+	SinkSQL SinkKind = iota
+	// SinkXSS is an echo/print of a string (cross-site scripting).
+	SinkXSS
+)
+
+func (k SinkKind) String() string {
+	if k == SinkSQL {
+		return "sql"
+	}
+	return "xss"
+}
+
+// PathToSink is a loop-free execution prefix ending at a sink: the branch
+// decisions and statements executed before the sink, plus the sink's
+// argument expression.
+type PathToSink struct {
+	Steps []Step
+	Kind  SinkKind
+	Arg   lang.Expr
+	Line  int
+}
+
+// PathsToSinks enumerates every execution prefix from program entry to a
+// sink statement, up to maxPaths prefixes (0 means DefaultMaxPaths). The
+// language is loop-free, so enumeration terminates; sequential branching can
+// still be exponential, hence the cap.
+func PathsToSinks(prog *lang.Program, maxPaths int) []PathToSink {
+	if maxPaths <= 0 {
+		maxPaths = DefaultMaxPaths
+	}
+	w := &pathWalker{limit: maxPaths}
+	w.walk(prog.Stmts, nil)
+	return w.found
+}
+
+// DefaultMaxPaths bounds path enumeration.
+const DefaultMaxPaths = 256
+
+// MaxLoopUnroll is how many iterations of a while loop the enumerator
+// explores; the decision procedure consumes loop-free paths, so loops are
+// bounded-unrolled (0, 1, …, MaxLoopUnroll iterations).
+const MaxLoopUnroll = 2
+
+type pathWalker struct {
+	limit int
+	found []PathToSink
+}
+
+func (w *pathWalker) full() bool { return len(w.found) >= w.limit }
+
+// walk explores stmts with the given executed prefix. It returns the prefix
+// at fall-through, or nil when execution exits.
+func (w *pathWalker) walk(stmts []lang.Stmt, prefix []Step) [][]Step {
+	prefixes := [][]Step{prefix}
+	for _, s := range stmts {
+		if w.full() {
+			return nil
+		}
+		switch s := s.(type) {
+		case *lang.Exit:
+			return nil
+		case *lang.While:
+			var next [][]Step
+			for _, p := range prefixes {
+				next = append(next, w.unrollLoop(s, p, MaxLoopUnroll)...)
+				if len(next) >= w.limit {
+					next = next[:w.limit]
+					break
+				}
+			}
+			prefixes = next
+			if len(prefixes) == 0 {
+				return nil
+			}
+		case *lang.If:
+			var next [][]Step
+			for _, p := range prefixes {
+				thenPrefix := appendStep(p, CondStep{Cond: s.Cond, Taken: true})
+				for _, out := range w.walk(s.Then, thenPrefix) {
+					next = append(next, out)
+				}
+				elsePrefix := appendStep(p, CondStep{Cond: s.Cond, Taken: false})
+				if len(s.Else) > 0 {
+					for _, out := range w.walk(s.Else, elsePrefix) {
+						next = append(next, out)
+					}
+				} else {
+					next = append(next, elsePrefix)
+				}
+				// Bound the in-flight prefix set as well as the result set:
+				// long if-chains otherwise double it per branch point.
+				if len(next) >= w.limit {
+					next = next[:w.limit]
+					break
+				}
+			}
+			prefixes = next
+			if len(prefixes) == 0 {
+				return nil // every branch exits
+			}
+		default:
+			for i, p := range prefixes {
+				w.emitIfSink(s, p)
+				prefixes[i] = appendStep(p, StmtStep{S: s})
+			}
+		}
+	}
+	return prefixes
+}
+
+// unrollLoop explores 0..budget iterations of a while loop from the given
+// prefix, returning the surviving fall-through prefixes (each ends with the
+// condition evaluating false).
+func (w *pathWalker) unrollLoop(s *lang.While, prefix []Step, budget int) [][]Step {
+	out := [][]Step{appendStep(prefix, CondStep{Cond: s.Cond, Taken: false})}
+	if budget == 0 || w.full() {
+		return out
+	}
+	enter := appendStep(prefix, CondStep{Cond: s.Cond, Taken: true})
+	for _, afterBody := range w.walk(s.Body, enter) {
+		out = append(out, w.unrollLoop(s, afterBody, budget-1)...)
+		if len(out) >= w.limit {
+			out = out[:w.limit]
+			break
+		}
+	}
+	return out
+}
+
+// emitIfSink records a PathToSink when s is a query or echo statement.
+func (w *pathWalker) emitIfSink(s lang.Stmt, prefix []Step) {
+	if w.full() {
+		return
+	}
+	emit := func(kind SinkKind, arg lang.Expr, line int) {
+		steps := make([]Step, len(prefix))
+		copy(steps, prefix)
+		w.found = append(w.found, PathToSink{Steps: steps, Kind: kind, Arg: arg, Line: line})
+	}
+	switch s := s.(type) {
+	case *lang.CallStmt:
+		if lang.IsSQLSink(s.Call.Name) && len(s.Call.Args) > 0 {
+			emit(SinkSQL, s.Call.Args[0], s.Line)
+		}
+	case *lang.Echo:
+		emit(SinkXSS, s.Arg, s.Line)
+	case *lang.Assign:
+		// query(...) used in expression position: $r = query(...).
+		if call, ok := s.Rhs.(*lang.Call); ok && lang.IsSQLSink(call.Name) && len(call.Args) > 0 {
+			emit(SinkSQL, call.Args[0], s.Line)
+		}
+	}
+}
+
+// appendStep copies-on-append so shared prefixes cannot alias.
+func appendStep(prefix []Step, s Step) []Step {
+	out := make([]Step, len(prefix)+1)
+	copy(out, prefix)
+	out[len(prefix)] = s
+	return out
+}

@@ -1,0 +1,61 @@
+package core
+
+import "dprle/internal/nfa"
+
+// CISolution is one disjunctive solution to a Concatenation-Intersection
+// instance: an assignment [v1 ↦ V1, v2 ↦ V2] (paper §3.2).
+type CISolution struct {
+	V1, V2 *nfa.NFA
+}
+
+// CITrace exposes the intermediate machines of the concat_intersect
+// algorithm, mirroring Fig. 3/4: M4 recognizes c1·c2, M5 recognizes
+// (c1·c2) ∩ c3, and Seams lists the surviving ε-transitions between the
+// paper's Qlhs and Qrhs state families.
+type CITrace struct {
+	M4    *nfa.NFA
+	M5    *nfa.NFA
+	Seams []nfa.TaggedEdge
+}
+
+// ConcatIntersect solves the CI problem
+//
+//	v1 ⊆ c1,  v2 ⊆ c2,  v1·v2 ⊆ c3
+//
+// following Fig. 3 of the paper: build M4 = c1·c2 with a single seam
+// ε-transition, build M5 = M4 ∩ c3 by the cross-product construction, then
+// emit one solution per surviving seam edge (q_a, q_b) — v1 is M5 with q_a
+// as the only final state (induce_from_final) and v2 is M5 with q_b as the
+// only start state (induce_from_start). Solutions in which either machine is
+// empty are rejected, and solutions with identical language pairs are
+// deduplicated.
+func ConcatIntersect(c1, c2, c3 *nfa.NFA) []CISolution {
+	sols, _ := ConcatIntersectTrace(c1, c2, c3)
+	return sols
+}
+
+// ConcatIntersectTrace is ConcatIntersect, additionally returning the
+// intermediate machines for inspection (Fig. 4 reproduces them).
+func ConcatIntersectTrace(c1, c2, c3 *nfa.NFA) ([]CISolution, *CITrace) {
+	const seamTag = 0
+	m4 := nfa.ConcatTagged(c1, c2, seamTag)
+	m5 := nfa.Intersect(m4, c3).Trim()
+	trace := &CITrace{M4: m4, M5: m5, Seams: m5.TaggedEdges()}
+
+	var out []CISolution
+	seen := map[[2]string]bool{}
+	for _, seam := range trace.Seams {
+		v1 := m5.Induce(m5.Start(), seam.From) // induce_from_final(M5, q_a)
+		v2 := m5.Induce(seam.To, m5.Final())   // induce_from_start(M5, q_b)
+		if v1.IsEmpty() || v2.IsEmpty() {
+			continue
+		}
+		key := [2]string{nfa.Fingerprint(v1), nfa.Fingerprint(v2)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, CISolution{V1: v1, V2: v2})
+	}
+	return out, trace
+}

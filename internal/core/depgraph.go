@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeKind classifies dependency-graph vertices.
+type NodeKind int
+
+const (
+	// VarNode is a language variable vertex.
+	VarNode NodeKind = iota
+	// ConstNode is a constant-language vertex.
+	ConstNode
+	// TempNode is a fresh vertex introduced for a concatenation result
+	// (the "t is fresh" rule of Fig. 5).
+	TempNode
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case VarNode:
+		return "var"
+	case ConstNode:
+		return "const"
+	case TempNode:
+		return "temp"
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// GraphNode is a vertex of the dependency graph.
+type GraphNode struct {
+	ID   int
+	Kind NodeKind
+	Name string // variable/constant name, or a generated temp name
+	Con  *Const // for ConstNode: the constant
+}
+
+// SubsetEdge records [To] ⊆ [From]; From is always a constant vertex
+// (the paper's ↪-edges).
+type SubsetEdge struct {
+	From int // constant node
+	To   int // var or temp node
+}
+
+// ConcatPair records [Result] = [Left]·[Right] (the paper's ⋈-edge pairs).
+// Tag is the seam tag used for this concatenation across all NFA
+// constructions, so slicing points remain identifiable after intersections.
+type ConcatPair struct {
+	Left, Right, Result int
+	Tag                 int
+}
+
+// Graph is the dependency graph of Fig. 5/6.
+type Graph struct {
+	Nodes   []*GraphNode
+	Subsets []SubsetEdge
+	Concats []ConcatPair
+
+	varNode   map[string]int
+	constNode map[string]int
+}
+
+// BuildGraph constructs the dependency graph for the system by recursive
+// descent over each constraint's derivation (Fig. 5), taking the union of
+// the per-constraint graphs. Or-expressions are desugared first.
+func BuildGraph(s *System) *Graph {
+	g := &Graph{varNode: map[string]int{}, constNode: map[string]int{}}
+	for _, c := range s.desugared() {
+		lhs := g.walk(c.Lhs)
+		rhs := g.nodeForConst(c.Rhs)
+		g.Subsets = append(g.Subsets, SubsetEdge{From: rhs, To: lhs})
+	}
+	return g
+}
+
+// walk processes an expression and returns its vertex, extending the graph
+// (the ⊢ e : n, G judgment of Fig. 5).
+func (g *Graph) walk(e Expr) int {
+	switch e := e.(type) {
+	case Var:
+		return g.nodeForVar(e.Name)
+	case *Const:
+		return g.nodeForConst(e)
+	case Cat:
+		l := g.walk(e.Left)
+		r := g.walk(e.Right)
+		t := g.addNode(TempNode, fmt.Sprintf("t%d", len(g.Concats)), nil)
+		g.Concats = append(g.Concats, ConcatPair{Left: l, Right: r, Result: t, Tag: len(g.Concats)})
+		return t
+	}
+	panic(fmt.Sprintf("core: walk of unexpected expression %T (Or must be desugared)", e))
+}
+
+func (g *Graph) addNode(kind NodeKind, name string, con *Const) int {
+	id := len(g.Nodes)
+	g.Nodes = append(g.Nodes, &GraphNode{ID: id, Kind: kind, Name: name, Con: con})
+	return id
+}
+
+// nodeForVar returns the unique vertex for a variable name.
+func (g *Graph) nodeForVar(name string) int {
+	if id, ok := g.varNode[name]; ok {
+		return id
+	}
+	id := g.addNode(VarNode, name, nil)
+	g.varNode[name] = id
+	return id
+}
+
+// nodeForConst returns the unique vertex for a constant.
+func (g *Graph) nodeForConst(c *Const) int {
+	if id, ok := g.constNode[c.Name]; ok {
+		return id
+	}
+	id := g.addNode(ConstNode, c.Name, c)
+	g.constNode[c.Name] = id
+	return id
+}
+
+// SubsetsInto returns the constants constraining node id (inbound ↪-edges).
+func (g *Graph) SubsetsInto(id int) []*Const {
+	var out []*Const
+	for _, e := range g.Subsets {
+		if e.To == id {
+			out = append(out, g.Nodes[e.From].Con)
+		}
+	}
+	return out
+}
+
+// pairByResult returns the concat pair producing the given temp node.
+func (g *Graph) pairByResult(id int) (ConcatPair, bool) {
+	for _, p := range g.Concats {
+		if p.Result == id {
+			return p, true
+		}
+	}
+	return ConcatPair{}, false
+}
+
+// pairsUsing returns the concat pairs in which node id is an operand.
+func (g *Graph) pairsUsing(id int) []ConcatPair {
+	var out []ConcatPair
+	for _, p := range g.Concats {
+		if p.Left == id || p.Right == id {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CIGroups returns the CI-groups of the graph: the connected components of
+// the relation "joined by a ⋈-edge" (§3.4.3; edge direction is ignored).
+// Constant vertices participate as concat operands but do not join groups
+// beyond that. Each group is returned as a sorted list of node ids
+// containing the variables and temps involved.
+func (g *Graph) CIGroups() [][]int {
+	parent := make([]int, len(g.Nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, p := range g.Concats {
+		// Constants do not glue groups together: two concatenations that
+		// share only a constant operand are independent.
+		if g.Nodes[p.Left].Kind != ConstNode {
+			union(p.Left, p.Result)
+		}
+		if g.Nodes[p.Right].Kind != ConstNode {
+			union(p.Right, p.Result)
+		}
+	}
+	members := map[int][]int{}
+	for _, n := range g.Nodes {
+		if n.Kind == ConstNode {
+			continue
+		}
+		// Only nodes that touch a concat edge belong to a CI-group.
+		if _, isResult := g.pairByResult(n.ID); !isResult && len(g.pairsUsing(n.ID)) == 0 {
+			continue
+		}
+		root := find(n.ID)
+		members[root] = append(members[root], n.ID)
+	}
+	var out [][]int
+	for _, m := range members {
+		sortInts(m)
+		out = append(out, m)
+	}
+	// Deterministic order by first member.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j][0] < out[j-1][0]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// FreeVars returns the variable nodes not involved in any concatenation;
+// these are solved by plain intersection (Fig. 7's sort_acyclic_nodes /
+// reduce stage).
+func (g *Graph) FreeVars() []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if n.Kind == VarNode && len(g.pairsUsing(n.ID)) == 0 {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Dot renders the dependency graph in Graphviz format, reproducing the
+// Fig. 6 presentation: constants as boxes, variables as circles, temps as
+// diamonds; ↪-edges solid, ⋈-edge pairs labelled l/r.
+func (g *Graph) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	for _, n := range g.Nodes {
+		shape := "circle"
+		switch n.Kind {
+		case ConstNode:
+			shape = "box"
+		case TempNode:
+			shape = "diamond"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s];\n", n.ID, n.Name, shape)
+	}
+	for _, e := range g.Subsets {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"⊆\"];\n", e.From, e.To)
+	}
+	for _, p := range g.Concats {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"l/%d\", style=dashed];\n", p.Left, p.Result, p.Tag)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"r/%d\", style=dashed];\n", p.Right, p.Result, p.Tag)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders the graph: vertices, then ↪-edges and ⋈-pairs.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "node %d: %s %s\n", n.ID, n.Kind, n.Name)
+	}
+	for _, e := range g.Subsets {
+		fmt.Fprintf(&b, "%s ↪ %s\n", g.Nodes[e.From].Name, g.Nodes[e.To].Name)
+	}
+	for _, p := range g.Concats {
+		fmt.Fprintf(&b, "%s ⋈l %s, %s ⋈r %s (tag %d)\n",
+			g.Nodes[p.Left].Name, g.Nodes[p.Result].Name,
+			g.Nodes[p.Right].Name, g.Nodes[p.Result].Name, p.Tag)
+	}
+	return b.String()
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dprle/internal/nfa"
+	"dprle/internal/regex"
+)
+
+// motivatingSystem builds the constraint system of §3.1/Fig. 6:
+//
+//	v1 ⊆ c1        (the incomplete input filter)
+//	c2 · v1 ⊆ c3   (the nid_-prefixed query must be unsafe)
+func motivatingSystem(t *testing.T) (*System, *Const, *Const, *Const) {
+	t.Helper()
+	s := NewSystem()
+	c1 := s.MustConst("c1", regex.MustMatchLanguage(`[\d]+$`))
+	c2 := s.MustConst("c2", nfa.Literal("nid_"))
+	c3 := s.MustConst("c3", regex.MustMatchLanguage(`'`))
+	s.MustAdd(Var{"v1"}, c1)
+	s.MustAdd(Cat{Left: c2, Right: Var{"v1"}}, c3)
+	return s, c1, c2, c3
+}
+
+func TestFigure6DependencyGraph(t *testing.T) {
+	s, _, _, _ := motivatingSystem(t)
+	g := BuildGraph(s)
+
+	// Vertices: v1, c1, c2, t0, c3 — five nodes (Fig. 6).
+	if len(g.Nodes) != 5 {
+		t.Fatalf("nodes = %d, want 5\n%s", len(g.Nodes), g)
+	}
+	var vars, consts, temps int
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case VarNode:
+			vars++
+		case ConstNode:
+			consts++
+		case TempNode:
+			temps++
+		}
+	}
+	if vars != 1 || consts != 3 || temps != 1 {
+		t.Fatalf("kinds = %d vars, %d consts, %d temps", vars, consts, temps)
+	}
+	// Two ↪-edges (c1 ↪ v1, c3 ↪ t0) and one ⋈-pair.
+	if len(g.Subsets) != 2 {
+		t.Fatalf("subset edges = %d, want 2", len(g.Subsets))
+	}
+	if len(g.Concats) != 1 {
+		t.Fatalf("concat pairs = %d, want 1", len(g.Concats))
+	}
+	p := g.Concats[0]
+	if g.Nodes[p.Left].Name != "c2" || g.Nodes[p.Right].Name != "v1" {
+		t.Fatalf("concat pair wires %s ⋈ %s", g.Nodes[p.Left].Name, g.Nodes[p.Right].Name)
+	}
+	if !strings.Contains(g.String(), "↪") {
+		t.Fatal("graph String() should render subset edges")
+	}
+}
+
+func TestNodeDedupAcrossConstraints(t *testing.T) {
+	// The node function returns one vertex per unique variable/constant,
+	// but a fresh temp per concatenation (Fig. 5).
+	s := NewSystem()
+	c := s.MustConst("c", nfa.AnyString())
+	s.MustAdd(Cat{Left: Var{"v"}, Right: Var{"w"}}, c)
+	s.MustAdd(Cat{Left: Var{"v"}, Right: Var{"w"}}, c)
+	g := BuildGraph(s)
+	varNodes := 0
+	tempNodes := 0
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case VarNode:
+			varNodes++
+		case TempNode:
+			tempNodes++
+		}
+	}
+	if varNodes != 2 {
+		t.Fatalf("var nodes = %d, want 2 (v, w deduped)", varNodes)
+	}
+	if tempNodes != 2 {
+		t.Fatalf("temp nodes = %d, want 2 (fresh per concat)", tempNodes)
+	}
+}
+
+func TestCIGroupsConnectivity(t *testing.T) {
+	// Fig. 9 shape: va·vb ⊆ c1, vb·vc ⊆ c2 — one group {va,vb,vc,t0,t1}.
+	s := NewSystem()
+	c1 := s.MustConst("c1", nfa.AnyString())
+	c2 := s.MustConst("c2", nfa.AnyString())
+	s.MustAdd(Cat{Left: Var{"va"}, Right: Var{"vb"}}, c1)
+	s.MustAdd(Cat{Left: Var{"vb"}, Right: Var{"vc"}}, c2)
+	g := BuildGraph(s)
+	groups := g.CIGroups()
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(groups))
+	}
+	if len(groups[0]) != 5 {
+		t.Fatalf("group size = %d, want 5 (va vb vc t0 t1)", len(groups[0]))
+	}
+}
+
+func TestCIGroupsIndependent(t *testing.T) {
+	// Two concatenations sharing only a constant stay independent.
+	s := NewSystem()
+	c := s.MustConst("c", nfa.AnyString())
+	k := s.MustConst("k", nfa.Literal("k"))
+	s.MustAdd(Cat{Left: k, Right: Var{"v1"}}, c)
+	s.MustAdd(Cat{Left: k, Right: Var{"v2"}}, c)
+	g := BuildGraph(s)
+	if n := len(g.CIGroups()); n != 2 {
+		t.Fatalf("groups = %d, want 2", n)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	s := NewSystem()
+	c := s.MustConst("c", nfa.AnyString())
+	s.MustAdd(Var{"free"}, c)
+	s.MustAdd(Cat{Left: Var{"a"}, Right: Var{"b"}}, c)
+	g := BuildGraph(s)
+	free := g.FreeVars()
+	if len(free) != 1 || g.Nodes[free[0]].Name != "free" {
+		t.Fatalf("free vars = %v", free)
+	}
+}
+
+func TestOrDesugaring(t *testing.T) {
+	s := NewSystem()
+	c := s.MustConst("c", nfa.AnyString())
+	s.MustAdd(Or{Left: Var{"a"}, Right: Var{"b"}}, c)
+	if got := len(s.desugared()); got != 2 {
+		t.Fatalf("desugared constraints = %d, want 2", got)
+	}
+	// Union under concatenation distributes.
+	s2 := NewSystem()
+	c2 := s2.MustConst("c", nfa.AnyString())
+	s2.MustAdd(Cat{Left: Or{Left: Var{"a"}, Right: Var{"b"}}, Right: Var{"x"}}, c2)
+	if got := len(s2.desugared()); got != 2 {
+		t.Fatalf("desugared constraints = %d, want 2", got)
+	}
+}
+
+func TestSystemConstInterning(t *testing.T) {
+	s := NewSystem()
+	a := s.MustConst("k", nfa.Literal("k"))
+	b := s.MustConst("k", nfa.Literal("k")) // equivalent: same object
+	if a != b {
+		t.Fatal("equivalent redefinition should return the interned constant")
+	}
+	if _, err := s.Const("k", nfa.Literal("other")); err == nil {
+		t.Fatal("conflicting redefinition must error")
+	}
+	anon1 := s.AnonConst(nfa.Literal("x"))
+	anon2 := s.AnonConst(nfa.Literal("y"))
+	if anon1.Name == anon2.Name {
+		t.Fatal("anonymous constants must get distinct names")
+	}
+}
+
+func TestSystemRejectsEmptyVarName(t *testing.T) {
+	s := NewSystem()
+	c := s.MustConst("c", nfa.AnyString())
+	if err := s.Add(Var{""}, c); err == nil {
+		t.Fatal("empty variable name must error")
+	}
+}
+
+func TestConcatAll(t *testing.T) {
+	e := ConcatAll(Var{"a"}, Var{"b"}, Var{"c"})
+	if e.exprString() != "((a . b) . c)" {
+		t.Fatalf("ConcatAll = %s", e.exprString())
+	}
+}
+
+func TestAssignmentEval(t *testing.T) {
+	a := Assignment{"v": nfa.Literal("x")}
+	k := &Const{Name: "k", Lang: nfa.Literal("y")}
+	m := a.Eval(Cat{Left: Var{"v"}, Right: k})
+	if !m.Accepts("xy") || m.Accepts("x") {
+		t.Fatal("Eval concat wrong")
+	}
+	u := a.Eval(Or{Left: Var{"v"}, Right: k})
+	if !u.Accepts("x") || !u.Accepts("y") {
+		t.Fatal("Eval union wrong")
+	}
+	if !a.Lookup("missing").IsEmpty() {
+		t.Fatal("missing variable should evaluate to ∅")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	s, _, _, _ := motivatingSystem(t)
+	str := s.String()
+	if !strings.Contains(str, "v1 ⊆ c1") || !strings.Contains(str, "(c2 . v1) ⊆ c3") {
+		t.Fatalf("System.String() = %q", str)
+	}
+}
+
+func TestGraphDot(t *testing.T) {
+	s, _, _, _ := motivatingSystem(t)
+	g := BuildGraph(s)
+	dot := g.Dot("fig6")
+	for _, want := range []string{"digraph", "shape=box", "shape=circle", "shape=diamond", "⊆", "l/0", "r/0"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot missing %q:\n%s", want, dot)
+		}
+	}
+}

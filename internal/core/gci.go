@@ -1,0 +1,485 @@
+package core
+
+import (
+	"fmt"
+
+	"dprle/internal/nfa"
+)
+
+// gci implements the generalized concat-intersect procedure of Fig. 8: it
+// solves one CI-group — a set of variable and temp vertices connected by
+// ⋈-edges — producing the set of disjunctive node-to-NFA solutions.
+//
+// The implementation follows the paper's two invariants:
+//
+//  1. Operation ordering: inbound subset constraints are processed before
+//     concatenation constraints. Variables are intersected with their
+//     constraining constants first; each temp's machine is intersected with
+//     its constraining constants before the temp participates in an outer
+//     concatenation.
+//
+//  2. Shared solution representation: the solution for a variable is a
+//     sub-NFA of a larger "root" machine, delimited by seam ε-edges. Because
+//     the cross-product construction preserves seam tags, every intersection
+//     applied to a root machine is automatically reflected in the sub-NFAs
+//     of all operands — the pointer-sharing of the paper realized through
+//     tag propagation.
+//
+// A variable shared between several concat trees (Fig. 9's vb) has one
+// induced sub-NFA per occurrence; for each combination of seam choices, the
+// variable's language is the intersection of its occurrence machines, and
+// the combination is kept only if every group variable is nonempty and the
+// assignment verifies against every constraint in the group (paper §3.4.4:
+// "for each candidate solution we must ensure that [vb] satisfies both
+// constraints").
+type gciSolver struct {
+	g     *Graph
+	opts  Options
+	canon *constCache
+
+	varLang map[int]*nfa.NFA // var node → language after inbound subsets
+	built   map[int]*nfa.NFA // temp node → machine with seam tags
+}
+
+// constCache canonicalizes constant languages (unless Options.RawConstants)
+// and memoizes the result per constant.
+type constCache struct {
+	raw   bool
+	canon map[*Const]*nfa.NFA
+}
+
+func newConstCache(opts Options) *constCache {
+	return &constCache{raw: opts.RawConstants, canon: map[*Const]*nfa.NFA{}}
+}
+
+func (cc *constCache) get(c *Const) *nfa.NFA {
+	if cc.raw {
+		return c.Lang
+	}
+	if m, ok := cc.canon[c]; ok {
+		return m
+	}
+	m := nfa.Minimized(c.Lang)
+	cc.canon[c] = m
+	return m
+}
+
+// rootInfo describes one root machine of the group: a temp vertex that is
+// not an operand of any other concatenation (the paper's "non-influenced
+// node"), its concat-tree leaves in order, and the seam tags between them.
+type rootInfo struct {
+	temp   int
+	m      *nfa.NFA
+	leaves []int // node ids of the k leaves (vars or consts)
+	seams  []int // k-1 seam tags in leaf order
+	// choices enumerates, per seam position, the candidate seam edges found
+	// in the trimmed root machine.
+	choices [][]nfa.TaggedEdge
+}
+
+// occurrence ties a group variable to one leaf position of one root.
+type occurrence struct {
+	root int // index into roots
+	leaf int // leaf position within the root
+}
+
+// solveGroup runs gci on the given CI-group. It returns the disjunctive
+// solutions as maps from variable node id to language, and whether seam
+// enumeration was truncated by the MaxCombos bound. An empty result means
+// the group admits no assignment with all variables nonempty, which the
+// worklist treats as "no assignments found" (Fig. 7, line 23).
+func (s *gciSolver) solveGroup(group []int) ([]map[int]*nfa.NFA, error) {
+	sols, _, err := s.solveGroupTrunc(group)
+	return sols, err
+}
+
+func (s *gciSolver) solveGroupTrunc(group []int) ([]map[int]*nfa.NFA, bool, error) {
+	inGroup := map[int]bool{}
+	for _, id := range group {
+		inGroup[id] = true
+	}
+
+	// Stage 1 (ordering invariant): inbound subset constraints on variables.
+	for _, id := range group {
+		n := s.g.Nodes[id]
+		if n.Kind != VarNode {
+			continue
+		}
+		lang := nfa.AnyString()
+		for _, c := range s.g.SubsetsInto(id) {
+			lang = nfa.Intersect(lang, s.canon.get(c)).Trim()
+		}
+		s.varLang[id] = s.maybeMin(lang)
+	}
+
+	// Stage 2: build temp machines bottom-up, applying each temp's inbound
+	// subset constraints as soon as the temp's machine exists.
+	order, err := s.topoTemps(group)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, tid := range order {
+		pair, ok := s.g.pairByResult(tid)
+		if !ok {
+			return nil, false, fmt.Errorf("core: temp node %d has no defining concat pair", tid)
+		}
+		left, err := s.operandMachine(pair.Left)
+		if err != nil {
+			return nil, false, err
+		}
+		right, err := s.operandMachine(pair.Right)
+		if err != nil {
+			return nil, false, err
+		}
+		m := nfa.ConcatTagged(left, right, pair.Tag)
+		for _, c := range s.g.SubsetsInto(tid) {
+			m = nfa.Intersect(m, s.canon.get(c)).Trim()
+		}
+		s.built[tid] = m
+	}
+
+	// Stage 3: identify roots and their leaf/seam structure, then enumerate
+	// seam choices per root.
+	var roots []*rootInfo
+	occs := map[int][]occurrence{} // var node → occurrences
+	for _, tid := range order {
+		if len(s.g.pairsUsing(tid)) > 0 {
+			continue // influenced node: embedded in a larger machine
+		}
+		ri := &rootInfo{temp: tid, m: s.built[tid].Trim()}
+		ri.leaves, ri.seams = s.leafSpans(tid)
+		edgesByTag := map[int][]nfa.TaggedEdge{}
+		for _, e := range ri.m.TaggedEdges() {
+			edgesByTag[e.Tag] = append(edgesByTag[e.Tag], e)
+		}
+		for _, tag := range ri.seams {
+			edges := edgesByTag[tag]
+			if len(edges) == 0 {
+				// Some seam cannot be crossed: the root's language is empty,
+				// so the group has no all-nonempty assignment.
+				return nil, false, nil
+			}
+			ri.choices = append(ri.choices, edges)
+		}
+		rootIdx := len(roots)
+		roots = append(roots, ri)
+		for leafIdx, leaf := range ri.leaves {
+			if s.g.Nodes[leaf].Kind == VarNode {
+				occs[leaf] = append(occs[leaf], occurrence{root: rootIdx, leaf: leafIdx})
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil, false, fmt.Errorf("core: CI-group %v has no root", group)
+	}
+
+	// Stage 4: enumerate combinations of seam choices across all roots and
+	// reconcile shared variables.
+	combos, truncated := s.enumerateCombos(roots)
+	var solutions []map[int]*nfa.NFA
+	seen := map[string]bool{}
+	for _, combo := range combos {
+		sol, ok := s.evalCombo(roots, combo, occs)
+		if !ok {
+			continue
+		}
+		if !s.comboSatisfies(group, sol) {
+			continue
+		}
+		key := solutionKey(sol)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		solutions = append(solutions, sol)
+	}
+	return pruneSubsumed(solutions), truncated, nil
+}
+
+// maybeMin minimizes a machine when the Minimize option is on.
+func (s *gciSolver) maybeMin(m *nfa.NFA) *nfa.NFA {
+	if s.opts.Minimize {
+		return nfa.Minimized(m)
+	}
+	return m
+}
+
+// operandMachine returns the machine feeding a concat operand: a constant's
+// language, a variable's post-subset language, or a previously built temp.
+func (s *gciSolver) operandMachine(id int) (*nfa.NFA, error) {
+	n := s.g.Nodes[id]
+	switch n.Kind {
+	case ConstNode:
+		return s.canon.get(n.Con), nil
+	case VarNode:
+		if m, ok := s.varLang[id]; ok {
+			return m, nil
+		}
+		return nil, fmt.Errorf("core: variable %s used before its subsets were applied", n.Name)
+	case TempNode:
+		if m, ok := s.built[id]; ok {
+			return m, nil
+		}
+		return nil, fmt.Errorf("core: temp %s used before it was built", n.Name)
+	}
+	return nil, fmt.Errorf("core: unknown node kind %v", n.Kind)
+}
+
+// topoTemps orders the group's temp nodes so operands precede results
+// (Fig. 8, line 2). Each temp is the result of exactly one pair and the
+// operand of at most one, so the pairs form a forest and a simple
+// depth-count sort suffices.
+func (s *gciSolver) topoTemps(group []int) ([]int, error) {
+	depth := map[int]int{}
+	var measure func(id int) (int, error)
+	measure = func(id int) (int, error) {
+		if d, ok := depth[id]; ok {
+			if d < 0 {
+				return 0, fmt.Errorf("core: cyclic concatenation structure at node %d", id)
+			}
+			return d, nil
+		}
+		n := s.g.Nodes[id]
+		if n.Kind != TempNode {
+			return 0, nil
+		}
+		depth[id] = -1 // in progress
+		pair, ok := s.g.pairByResult(id)
+		if !ok {
+			return 0, fmt.Errorf("core: temp node %d has no defining pair", id)
+		}
+		dl, err := measure(pair.Left)
+		if err != nil {
+			return 0, err
+		}
+		dr, err := measure(pair.Right)
+		if err != nil {
+			return 0, err
+		}
+		d := 1 + max(dl, dr)
+		depth[id] = d
+		return d, nil
+	}
+	var temps []int
+	for _, id := range group {
+		if s.g.Nodes[id].Kind == TempNode {
+			if _, err := measure(id); err != nil {
+				return nil, err
+			}
+			temps = append(temps, id)
+		}
+	}
+	// Sort ascending by depth (stable on id for determinism).
+	for i := 1; i < len(temps); i++ {
+		for j := i; j > 0; j-- {
+			a, b := temps[j], temps[j-1]
+			if depth[a] < depth[b] || (depth[a] == depth[b] && a < b) {
+				temps[j], temps[j-1] = temps[j-1], temps[j]
+			} else {
+				break
+			}
+		}
+	}
+	return temps, nil
+}
+
+// leafSpans returns the in-order leaves of the concat tree rooted at temp
+// and the seam tags separating consecutive leaves.
+func (s *gciSolver) leafSpans(temp int) (leaves []int, seams []int) {
+	var walk func(id int)
+	walk = func(id int) {
+		if s.g.Nodes[id].Kind == TempNode {
+			pair, _ := s.g.pairByResult(id)
+			walk(pair.Left)
+			seams = append(seams, pair.Tag)
+			walk(pair.Right)
+			return
+		}
+		leaves = append(leaves, id)
+	}
+	walk(temp)
+	return leaves, seams
+}
+
+// comboChoice holds, per root, the chosen seam edge for each seam position.
+type comboChoice [][]nfa.TaggedEdge
+
+// enumerateCombos produces the Cartesian product of seam choices across all
+// roots (the all_combinations step of Fig. 8), capped at opts.maxCombos();
+// truncated reports whether the cap cut enumeration short. Enumeration works
+// like an odometer over the flattened (root, seam) slots.
+func (s *gciSolver) enumerateCombos(roots []*rootInfo) (combos []comboChoice, truncated bool) {
+	limit := s.opts.maxCombos()
+	type slot struct {
+		root, seam int
+		edges      []nfa.TaggedEdge
+	}
+	var slots []slot
+	for ri, root := range roots {
+		for si, edges := range root.choices {
+			slots = append(slots, slot{root: ri, seam: si, edges: edges})
+		}
+	}
+	idx := make([]int, len(slots))
+	for {
+		c := make(comboChoice, len(roots))
+		for ri, root := range roots {
+			c[ri] = make([]nfa.TaggedEdge, len(root.seams))
+		}
+		for k, sl := range slots {
+			c[sl.root][sl.seam] = sl.edges[idx[k]]
+		}
+		combos = append(combos, c)
+		// Advance the odometer.
+		k := 0
+		for ; k < len(slots); k++ {
+			idx[k]++
+			if idx[k] < len(slots[k].edges) {
+				break
+			}
+			idx[k] = 0
+		}
+		if k == len(slots) {
+			return combos, false // enumeration complete
+		}
+		if len(combos) >= limit {
+			return combos, true
+		}
+	}
+}
+
+// evalCombo computes the candidate assignment induced by one combination of
+// seam choices: every leaf span is sliced out of its root machine, and each
+// variable receives the intersection of its occurrence machines. It reports
+// ok=false when any span or variable comes out empty.
+func (s *gciSolver) evalCombo(roots []*rootInfo, combo comboChoice, occs map[int][]occurrence) (map[int]*nfa.NFA, bool) {
+	// spanMachine(root r, leaf i) = Induce(prevSeam.To | start, nextSeam.From | final).
+	spans := make([][]*nfa.NFA, len(roots))
+	for ri, root := range roots {
+		spans[ri] = make([]*nfa.NFA, len(root.leaves))
+		for li := range root.leaves {
+			from := root.m.Start()
+			if li > 0 {
+				from = combo[ri][li-1].To
+			}
+			to := root.m.Final()
+			if li < len(root.seams) {
+				to = combo[ri][li].From
+			}
+			sp := root.m.Induce(from, to)
+			if sp.IsEmpty() {
+				return nil, false
+			}
+			spans[ri][li] = sp
+		}
+	}
+	sol := map[int]*nfa.NFA{}
+	for varID, os := range occs {
+		machines := make([]*nfa.NFA, 0, len(os))
+		for _, o := range os {
+			machines = append(machines, spans[o.root][o.leaf])
+		}
+		lang := nfa.IntersectAll(machines...).Trim()
+		if lang.IsEmpty() {
+			return nil, false
+		}
+		sol[varID] = s.maybeMin(lang)
+	}
+	return sol, true
+}
+
+// comboSatisfies verifies a candidate assignment against every subset
+// constraint whose left-hand side lies in the group: each temp's language,
+// rebuilt from the assignment (constants fixed), must be contained in all of
+// its constraining constants. Variable-level constraints hold by
+// construction (spans are sub-machines of post-subset operand machines).
+func (s *gciSolver) comboSatisfies(group []int, sol map[int]*nfa.NFA) bool {
+	var evalNode func(id int) *nfa.NFA
+	memo := map[int]*nfa.NFA{}
+	evalNode = func(id int) *nfa.NFA {
+		if m, ok := memo[id]; ok {
+			return m
+		}
+		n := s.g.Nodes[id]
+		var m *nfa.NFA
+		switch n.Kind {
+		case ConstNode:
+			m = s.canon.get(n.Con)
+		case VarNode:
+			m = sol[id]
+			if m == nil {
+				m = s.varLang[id]
+			}
+		case TempNode:
+			pair, _ := s.g.pairByResult(id)
+			m = nfa.Concat(evalNode(pair.Left), evalNode(pair.Right))
+		}
+		memo[id] = m
+		return m
+	}
+	for _, id := range group {
+		if s.g.Nodes[id].Kind != TempNode {
+			continue
+		}
+		lang := evalNode(id)
+		for _, c := range s.g.SubsetsInto(id) {
+			if !nfa.Subset(lang, s.canon.get(c)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// solutionKey fingerprints a node-to-NFA solution for deduplication.
+func solutionKey(sol map[int]*nfa.NFA) string {
+	ids := make([]int, 0, len(sol))
+	for id := range sol {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	key := ""
+	for _, id := range ids {
+		key += fmt.Sprintf("%d:%s;", id, nfa.Fingerprint(sol[id]))
+	}
+	return key
+}
+
+// pruneSubsumed drops solutions that are pointwise subsumed by another
+// solution: such assignments are extendable and therefore not maximal.
+func pruneSubsumed(sols []map[int]*nfa.NFA) []map[int]*nfa.NFA {
+	var out []map[int]*nfa.NFA
+	for i, a := range sols {
+		subsumed := false
+		for j, b := range sols {
+			if i == j {
+				continue
+			}
+			if pointwiseSubset(a, b) && !pointwiseSubset(b, a) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func pointwiseSubset(a, b map[int]*nfa.NFA) bool {
+	for id, la := range a {
+		lb, ok := b[id]
+		if !ok || !nfa.Subset(la, lb) {
+			return false
+		}
+	}
+	return true
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package core
+
+import "dprle/internal/nfa"
+
+// Partial solving. The paper highlights "the possibility of solving either
+// part or all of the graph depending on the needs of the client analysis"
+// (§4). SolveFor restricts work to the sub-graph the requested variables
+// depend on: only CI-groups containing a variable of interest are solved
+// with gci, and only free variables of interest are reduced; everything
+// else keeps the initial Σ* assignment.
+
+// SolveFor solves the system for the given variables only. The returned
+// assignments are complete over `interest` (and any variables sharing a
+// CI-group with them); unrelated variables are reported as Σ*, which is
+// their correct value in any maximal assignment that ignores their
+// constraints. Semantics for the covered variables are identical to Solve.
+func SolveFor(s *System, interest []string, opts Options) (*Result, error) {
+	want := map[string]bool{}
+	for _, v := range interest {
+		want[v] = true
+	}
+	g := BuildGraph(s)
+	canon := newConstCache(opts)
+
+	// Free variables of interest reduce by intersection.
+	base := Assignment{}
+	covered := map[string]bool{}
+	for _, id := range g.FreeVars() {
+		n := g.Nodes[id]
+		if !want[n.Name] {
+			continue
+		}
+		lang := nfa.AnyString()
+		for _, c := range g.SubsetsInto(id) {
+			lang = nfa.Intersect(lang, canon.get(c)).Trim()
+		}
+		base[n.Name] = lang
+		covered[n.Name] = true
+	}
+
+	// CI-groups touching a variable of interest are solved integrally; a
+	// group cannot be split, so its other variables come along.
+	solver := &gciSolver{g: g, opts: opts, canon: canon, varLang: map[int]*nfa.NFA{}, built: map[int]*nfa.NFA{}}
+	var maxer *maximizer
+	if !opts.NoMaximalize {
+		maxer = newMaximizer(s)
+	}
+	var perGroup [][]map[int]*nfa.NFA
+	for _, group := range g.CIGroups() {
+		touched := false
+		for _, id := range group {
+			if g.Nodes[id].Kind == VarNode && want[g.Nodes[id].Name] {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		sols, err := solver.solveGroup(group)
+		if err != nil {
+			return nil, err
+		}
+		if len(sols) == 0 {
+			return &Result{}, nil
+		}
+		for _, id := range group {
+			if g.Nodes[id].Kind == VarNode {
+				covered[g.Nodes[id].Name] = true
+			}
+		}
+		if maxer != nil {
+			sols = maximalizeGroup(maxer, g, group, sols)
+		}
+		perGroup = append(perGroup, sols)
+	}
+
+	// Remaining variables (not requested, or requested but absent from the
+	// system) default to Σ*.
+	for _, v := range s.Vars() {
+		if !covered[v] {
+			base[v] = nfa.AnyString()
+		}
+	}
+	for _, v := range interest {
+		if _, ok := base[v]; !ok && !covered[v] {
+			base[v] = nfa.AnyString()
+		}
+	}
+
+	res := &Result{}
+	assignments := []Assignment{base}
+	for _, sols := range perGroup {
+		var next []Assignment
+		for _, a := range assignments {
+			for _, sol := range sols {
+				merged := Assignment{}
+				for k, v := range a {
+					merged[k] = v
+				}
+				for id, lang := range sol {
+					merged[g.Nodes[id].Name] = lang
+				}
+				next = append(next, merged)
+				if len(next) >= opts.maxSolutions() {
+					res.Truncated = true
+					break
+				}
+			}
+			if len(next) >= opts.maxSolutions() {
+				break
+			}
+		}
+		assignments = next
+	}
+	for _, a := range assignments {
+		for v, lang := range a {
+			if covered[v] && lang.IsEmpty() {
+				return &Result{}, nil
+			}
+		}
+	}
+	res.Assignments = assignments
+	return res, nil
+}

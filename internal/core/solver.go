@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"dprle/internal/nfa"
+)
+
+// Options configures the solver.
+type Options struct {
+	// MaxSolutions caps the number of disjunctive assignments returned.
+	// 0 means DefaultMaxSolutions.
+	MaxSolutions int
+	// MaxCombos caps the number of seam-choice combinations explored per
+	// CI-group. 0 means DefaultMaxCombos.
+	MaxCombos int
+	// Minimize applies DFA minimization to intermediate machines, the
+	// improvement the paper suggests for the pathological `secure` case
+	// (§4). Off by default to match the published prototype.
+	Minimize bool
+	// RawConstants disables the up-front canonicalization (DFA
+	// minimization) of constant languages. The paper's prototype tracked
+	// large string constants through every machine transformation verbatim,
+	// which is what made its `secure` benchmark take minutes (§4); enabling
+	// RawConstants reproduces that behaviour. With canonicalization the
+	// solution machinery sees each constant as its minimal DFA, which also
+	// makes the number of seam edges — and hence the disjunct granularity —
+	// match the paper's hand-drawn minimal machines.
+	RawConstants bool
+	// Sequential disables the concurrent solving of independent CI-groups.
+	Sequential bool
+	// NoMaximalize skips the final quotient-based maximalization fixpoint.
+	// The returned assignments still satisfy the system and jointly cover
+	// all solutions, but individual disjuncts may be extendable (their
+	// granularity then mirrors the seam structure of the constant machines,
+	// like the raw concat_intersect output). Intended for ablation
+	// benchmarks.
+	NoMaximalize bool
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxSolutions = 256
+	DefaultMaxCombos    = 4096
+)
+
+func (o Options) maxSolutions() int {
+	if o.MaxSolutions <= 0 {
+		return DefaultMaxSolutions
+	}
+	return o.MaxSolutions
+}
+
+func (o Options) maxCombos() int {
+	if o.MaxCombos <= 0 {
+		return DefaultMaxCombos
+	}
+	return o.MaxCombos
+}
+
+// Result is the solver's output: zero or more disjunctive maximal satisfying
+// assignments. An empty Assignments slice means the system has no assignment
+// giving every variable a nonempty language — the paper's "no assignments
+// found" outcome (Fig. 7, line 23).
+type Result struct {
+	Assignments []Assignment
+	// Truncated reports that enumeration hit MaxSolutions/MaxCombos, so
+	// further disjunctive assignments may exist.
+	Truncated bool
+}
+
+// Sat reports whether at least one assignment was found.
+func (r *Result) Sat() bool { return len(r.Assignments) > 0 }
+
+// First returns the first assignment, or nil when unsat. The paper notes the
+// first solution can be produced without enumerating the rest; callers that
+// only need a witness use this.
+func (r *Result) First() Assignment {
+	if len(r.Assignments) == 0 {
+		return nil
+	}
+	return r.Assignments[0]
+}
+
+// SatFor reports whether some assignment gives every variable in `interest`
+// a nonempty language (Fig. 7's S parameter: success requires ∄s ∈ S with
+// F[s] = ∅).
+func (r *Result) SatFor(interest []string) bool {
+	for _, a := range r.Assignments {
+		ok := true
+		for _, v := range interest {
+			if a.Lookup(v).IsEmpty() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Solve decides the system and returns all disjunctive maximal satisfying
+// assignments, up to the configured bounds. The procedure follows Fig. 7:
+//
+//  1. Variables outside every CI-group are reduced directly: their language
+//     is the intersection of their constraining constants (sort_acyclic_nodes
+//     + reduce; this stage never creates disjunction).
+//  2. Each CI-group is eliminated by the generalized concat-intersect (gci),
+//     producing a set of disjunctive partial solutions that are pushed onto
+//     the worklist.
+//  3. Branches are combined across groups (the Cartesian product the
+//     worklist realizes by re-queuing graphs per disjunct).
+//
+// Because the constraint grammar (Fig. 2) only permits constants on
+// right-hand sides, group eliminations never unlock further reductions, so
+// one pass over the groups is complete.
+func Solve(s *System, opts Options) (*Result, error) {
+	g := BuildGraph(s)
+	canon := newConstCache(opts)
+
+	// Stage 1: free variables (no concat edges) reduce by intersection.
+	base := Assignment{}
+	for _, id := range g.FreeVars() {
+		n := g.Nodes[id]
+		lang := nfa.AnyString()
+		for _, c := range g.SubsetsInto(id) {
+			lang = nfa.Intersect(lang, canon.get(c)).Trim()
+		}
+		if opts.Minimize {
+			lang = nfa.Minimized(lang)
+		}
+		base[n.Name] = lang
+	}
+	// Variables registered but never constrained default to Σ* (the paper's
+	// initial node-to-NFA mapping).
+	for _, v := range s.Vars() {
+		if _, ok := base[v]; !ok {
+			if _, inGraph := g.varNode[v]; !inGraph {
+				base[v] = nfa.AnyString()
+			}
+		}
+	}
+
+	// Stage 2: eliminate each CI-group with gci. Groups are independent (no
+	// shared variables or temps by construction), so they are solved
+	// concurrently when there is more than one.
+	groups := g.CIGroups()
+	perGroup := make([][]map[int]*nfa.NFA, len(groups))
+	groupTrunc := make([]bool, len(groups))
+	groupErrs := make([]error, len(groups))
+	if len(groups) <= 1 || opts.Sequential {
+		for i, group := range groups {
+			solver := &gciSolver{g: g, opts: opts, canon: canon, varLang: map[int]*nfa.NFA{}, built: map[int]*nfa.NFA{}}
+			perGroup[i], groupTrunc[i], groupErrs[i] = solver.solveGroupTrunc(group)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, group := range groups {
+			wg.Add(1)
+			go func(i int, group []int) {
+				defer wg.Done()
+				// Each goroutine gets its own solver state and constant
+				// cache: the shared canon map is not synchronized.
+				solver := &gciSolver{
+					g: g, opts: opts, canon: newConstCache(opts),
+					varLang: map[int]*nfa.NFA{}, built: map[int]*nfa.NFA{},
+				}
+				perGroup[i], groupTrunc[i], groupErrs[i] = solver.solveGroupTrunc(group)
+			}(i, group)
+		}
+		wg.Wait()
+	}
+	res := &Result{}
+	for i := range groups {
+		if groupErrs[i] != nil {
+			return nil, groupErrs[i]
+		}
+		if len(perGroup[i]) == 0 {
+			// This group admits no all-nonempty assignment: the whole system
+			// reports "no assignments found".
+			return &Result{}, nil
+		}
+		if groupTrunc[i] {
+			res.Truncated = true
+		}
+	}
+
+	// Stage 2½: drive each group's disjuncts to a maximal fixpoint and
+	// collapse duplicates — per group, before the Cartesian product. Groups
+	// share no variables or constraints, so per-group maximalization equals
+	// whole-assignment maximalization at a fraction of the cost, and the
+	// product of per-group-maximal, pairwise-incomparable partials is
+	// itself maximal and duplicate-free.
+	if !opts.NoMaximalize {
+		maxer := newMaximizer(s)
+		for gi, sols := range perGroup {
+			perGroup[gi] = maximalizeGroup(maxer, g, groups[gi], sols)
+		}
+	}
+
+	// Stage 3: Cartesian-combine group disjuncts (the worklist's re-queued
+	// branches) on top of the base assignment.
+	assignments := []Assignment{base}
+	for _, sols := range perGroup {
+		var next []Assignment
+		for _, a := range assignments {
+			for _, sol := range sols {
+				merged := Assignment{}
+				for k, v := range a {
+					merged[k] = v
+				}
+				for id, lang := range sol {
+					merged[g.Nodes[id].Name] = lang
+				}
+				next = append(next, merged)
+				if len(next) >= opts.maxSolutions() {
+					res.Truncated = true
+					break
+				}
+			}
+			if len(next) >= opts.maxSolutions() {
+				break
+			}
+		}
+		assignments = next
+	}
+
+	// A free variable reduced to ∅ means no assignment gives every variable
+	// a nonempty language; per Fig. 7 this is "no assignments found". (The
+	// group stage already guarantees nonemptiness for group variables.)
+	for _, a := range assignments {
+		for _, lang := range a {
+			if lang.IsEmpty() {
+				return &Result{}, nil
+			}
+		}
+	}
+
+	res.Assignments = assignments
+	return res, nil
+}
+
+// maximalizeGroup drives one group's disjuncts to maximal fixpoints,
+// deduplicates language-equal results, and drops pointwise-subsumed (hence
+// extendable) disjuncts.
+func maximalizeGroup(maxer *maximizer, g *Graph, group []int, sols []map[int]*nfa.NFA) []map[int]*nfa.NFA {
+	varNames := make([]string, 0, 4)
+	for _, id := range group {
+		if g.Nodes[id].Kind == VarNode {
+			varNames = append(varNames, g.Nodes[id].Name)
+		}
+	}
+	seen := map[string]bool{}
+	var out []map[int]*nfa.NFA
+	for _, sol := range sols {
+		partial := Assignment{}
+		for id, lang := range sol {
+			partial[g.Nodes[id].Name] = lang
+		}
+		ma := maxer.maximalizeVars(partial, varNames)
+		key := ma.Fingerprint(varNames)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		back := map[int]*nfa.NFA{}
+		for id := range sol {
+			back[id] = ma.Lookup(g.Nodes[id].Name)
+		}
+		out = append(out, back)
+	}
+	return pruneSubsumed(out)
+}
+
+// Decide answers the RMA decision problem for the variables of interest:
+// it returns a satisfying assignment covering them with nonempty languages,
+// or nil (with ok=false) when none exists.
+func Decide(s *System, interest []string, opts Options) (Assignment, bool, error) {
+	res, err := Solve(s, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, a := range res.Assignments {
+		good := true
+		for _, v := range interest {
+			if a.Lookup(v).IsEmpty() {
+				good = false
+				break
+			}
+		}
+		if good {
+			return a, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Witnesses extracts a shortest concrete string per variable from an
+// assignment, the form needed to emit test inputs (paper §2).
+func Witnesses(a Assignment) (map[string]string, error) {
+	out := map[string]string{}
+	for v, lang := range a {
+		w, ok := lang.ShortestWitness()
+		if !ok {
+			return nil, fmt.Errorf("core: variable %s has an empty language", v)
+		}
+		out[v] = w
+	}
+	return out, nil
+}

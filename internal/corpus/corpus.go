@@ -1,0 +1,310 @@
+// Package corpus generates the reproduction's evaluation workload: PHP-subset
+// web applications standing in for the paper's data set (eve 1.0,
+// utopia 1.3.0, warp 1.2.1 — Figure 11) and its seventeen SQL-injection
+// defects (Figure 12).
+//
+// The original applications are real PHP packages we do not redistribute;
+// per DESIGN.md's substitution rule, each defect is regenerated as a
+// synthetic program matching its published structural parameters:
+//
+//   - |FG| — the basic-block count of the vulnerable file,
+//   - |C|  — the number of constraints produced by symbolic execution,
+//   - the vulnerable flow itself: an input filtered by a faulty
+//     (right-anchored-only) preg_match, concatenated into a SQL query.
+//
+// The block/constraint budgets are realized with guard statements that leave
+// exactly one feasible path to the sink, matching the one-path-per-defect
+// analysis the paper performs:
+//
+//	if (!preg_match('/…/', $aux)) { exit; }   // +2 blocks, +1 constraint
+//	if ($cfg == …) { exit; }                  // +2 blocks, +0 constraints
+//	$n = intval($_GET['…']);                  // +0 blocks, +1 constraint
+//
+// The warp `secure` defect — the paper's pathological case, 577 s on 2009
+// hardware because "large string constants are explicitly represented and
+// tracked through state machine transformations" — is generated with very
+// large string constants in both its filter patterns and its query text.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// App describes one application of the data set (Figure 11).
+type App struct {
+	Name       string
+	Version    string
+	Files      int // published file count
+	LOC        int // published lines of code
+	Vulnerable int // published number of vulnerable files
+}
+
+// Apps returns the published Figure 11 rows.
+func Apps() []App {
+	return []App{
+		{Name: "eve", Version: "1.0", Files: 8, LOC: 905, Vulnerable: 1},
+		{Name: "utopia", Version: "1.3.0", Files: 24, LOC: 5438, Vulnerable: 4},
+		{Name: "warp", Version: "1.2.1", Files: 44, LOC: 24365, Vulnerable: 12},
+	}
+}
+
+// Defect describes one Figure 12 row: a vulnerable file and its published
+// metrics.
+type Defect struct {
+	App     string
+	Name    string
+	WantFG  int     // published |FG| (basic blocks)
+	WantC   int     // published |C| (constraints)
+	PaperTS float64 // published solve time in seconds (2.5 GHz Core 2 Duo)
+	// Big marks the pathological large-constant case (warp/secure).
+	Big bool
+}
+
+// Defects returns the published Figure 12 rows in table order.
+func Defects() []Defect {
+	return []Defect{
+		{App: "eve", Name: "edit", WantFG: 58, WantC: 29, PaperTS: 0.32},
+		{App: "utopia", Name: "login", WantFG: 295, WantC: 16, PaperTS: 0.052},
+		{App: "utopia", Name: "profile", WantFG: 855, WantC: 16, PaperTS: 0.006},
+		{App: "utopia", Name: "styles", WantFG: 597, WantC: 156, PaperTS: 0.65},
+		{App: "utopia", Name: "comm", WantFG: 994, WantC: 102, PaperTS: 0.26},
+		{App: "warp", Name: "cxapp", WantFG: 620, WantC: 10, PaperTS: 0.054},
+		{App: "warp", Name: "ax_help", WantFG: 610, WantC: 4, PaperTS: 0.010},
+		{App: "warp", Name: "usr_reg", WantFG: 608, WantC: 10, PaperTS: 0.53},
+		{App: "warp", Name: "ax_ed", WantFG: 630, WantC: 10, PaperTS: 0.063},
+		{App: "warp", Name: "cart_shop", WantFG: 856, WantC: 31, PaperTS: 0.17},
+		{App: "warp", Name: "req_redir", WantFG: 640, WantC: 41, PaperTS: 0.43},
+		{App: "warp", Name: "secure", WantFG: 648, WantC: 81, PaperTS: 577.0, Big: true},
+		{App: "warp", Name: "a_cont", WantFG: 606, WantC: 10, PaperTS: 0.057},
+		{App: "warp", Name: "usr_prf", WantFG: 740, WantC: 66, PaperTS: 0.22},
+		{App: "warp", Name: "xw_mn", WantFG: 698, WantC: 387, PaperTS: 0.50},
+		{App: "warp", Name: "castvote", WantFG: 710, WantC: 10, PaperTS: 0.052},
+		{App: "warp", Name: "pay_nfo", WantFG: 628, WantC: 10, PaperTS: 0.18},
+	}
+}
+
+// DefectByName looks up a defect as "app/name".
+func DefectByName(key string) (Defect, bool) {
+	for _, d := range Defects() {
+		if d.App+"/"+d.Name == key {
+			return d, true
+		}
+	}
+	return Defect{}, false
+}
+
+// plan computes the guard mix hitting the defect's |FG| and |C| targets.
+//
+//	blocks      = 1 + 2·guards (+3 if an if/else pad is used)
+//	constraints = 1 (main filter) + pregGuards + intvalCalls + 1 (sink)
+type plan struct {
+	pregGuards   int // auxiliary preg_match-exit guards
+	nondetGuards int // configuration-check exit guards
+	intvalCalls  int // constraint-only padding
+	ifElsePad    bool
+}
+
+func planFor(d Defect) (plan, error) {
+	var p plan
+	fg := d.WantFG
+	if fg%2 == 0 {
+		p.ifElsePad = true
+		fg -= 3
+	}
+	guards := (fg - 1) / 2
+	if guards < 1 {
+		return p, fmt.Errorf("corpus: |FG| = %d too small", d.WantFG)
+	}
+	auxSlots := guards - 1 // one guard is the main faulty filter
+	budget := d.WantC - 2  // main filter + sink are fixed
+	if budget < 0 {
+		return p, fmt.Errorf("corpus: |C| = %d too small", d.WantC)
+	}
+	p.pregGuards = budget
+	if p.pregGuards > auxSlots {
+		p.pregGuards = auxSlots
+	}
+	p.intvalCalls = budget - p.pregGuards
+	p.nondetGuards = auxSlots - p.pregGuards
+	return p, nil
+}
+
+// auxPatterns cycles through cheap, satisfiable, fully anchored patterns for
+// auxiliary input filters.
+var auxPatterns = []string{
+	`^[a-z]{1,8}$`,
+	`^[0-9]+$`,
+	`^[A-Za-z0-9_]+$`,
+	`^(on|off)$`,
+	`^[a-f0-9]{4,12}$`,
+	`^[\w]+@[\w]+$`,
+}
+
+// Source generates the vulnerable PHP-subset file for a defect. Generation
+// is deterministic: the same defect always produces the same source.
+func Source(d Defect) (string, error) {
+	p, err := planFor(d)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<?php\n// %s/%s.php — generated reproduction of the %s defect.\n", d.App, d.Name, d.Name)
+	fmt.Fprintf(&b, "// Targets: |FG| = %d, |C| = %d (paper Figure 12).\n", d.WantFG, d.WantC)
+
+	// The vulnerable flow's input read and faulty filter (missing ^).
+	mainPat := `[\d]+$`
+	if d.Big {
+		mainPat = bigFilterPattern()
+	}
+	fmt.Fprintf(&b, "$id = $_POST['%s_id'];\n", d.Name)
+	fmt.Fprintf(&b, "if (!preg_match('/%s/', $id)) { exit; }\n", mainPat)
+
+	// Auxiliary preg_match guards.
+	for i := 0; i < p.pregGuards; i++ {
+		pat := auxPatterns[i%len(auxPatterns)]
+		if d.Big && i%7 == 0 {
+			pat = bigAuxPattern(i)
+		}
+		fmt.Fprintf(&b, "$f%d = $_GET['f%d']; if (!preg_match('/%s/', $f%d)) { exit; }\n", i, i, pat, i)
+	}
+	// Nondeterministic configuration guards.
+	for i := 0; i < p.nondetGuards; i++ {
+		fmt.Fprintf(&b, "if ($conf_%d == %d) { exit; }\n", i, i%7)
+	}
+	// Constraint-only padding.
+	for i := 0; i < p.intvalCalls; i++ {
+		fmt.Fprintf(&b, "$n%d = intval($_GET['n%d']);\n", i, i)
+	}
+	if p.ifElsePad {
+		// The then-branch exits, so block parity is adjusted (+3 blocks)
+		// without doubling the feasible paths; the surviving branch is the
+		// fall-through one that concrete execution also takes.
+		b.WriteString("if ($mode == 1) { exit; } else { $trace = 'on'; }\n")
+	}
+
+	// The sink: query text concatenated with the filtered input.
+	prefix := fmt.Sprintf("SELECT * FROM %s_%s WHERE id=", d.App, d.Name)
+	if d.Big {
+		prefix = bigQueryPrefix(d) + prefix
+	}
+	fmt.Fprintf(&b, "$q = %q . $id;\n", prefix)
+	b.WriteString("$r = query($q);\n")
+	return b.String(), nil
+}
+
+// MustSource is Source for known-good defects.
+func MustSource(d Defect) string {
+	src, err := Source(d)
+	if err != nil {
+		panic(err)
+	}
+	return src
+}
+
+// bigFilterPattern builds the large alternation filter that makes the
+// `secure` case expensive: a long allowlist of section names, still missing
+// the leading anchor (so it is exploitable like the others).
+func bigFilterPattern() string {
+	var words []string
+	for i := 0; i < 48; i++ {
+		words = append(words, fmt.Sprintf("section_%02d_%s", i,
+			strings.Repeat("x", 18+i%5)))
+	}
+	return "(" + strings.Join(words, "|") + `)?[\d]+$`
+}
+
+// bigAuxPattern builds outsized auxiliary patterns for the secure case.
+func bigAuxPattern(i int) string {
+	var words []string
+	for j := 0; j < 24; j++ {
+		words = append(words, fmt.Sprintf("opt%d_%s", j, strings.Repeat("y", 12+(i+j)%7)))
+	}
+	return "^(" + strings.Join(words, "|") + ")$"
+}
+
+// bigQueryPrefix builds the multi-kilobyte query text of the secure case —
+// the "large string constants … explicitly represented and tracked through
+// state machine transformations" of §4.
+func bigQueryPrefix(d Defect) string {
+	var b strings.Builder
+	for i := 0; i < 60; i++ {
+		fmt.Fprintf(&b, "/* %s audit column set %02d: ", d.Name, i)
+		for j := 0; j < 8; j++ {
+			fmt.Fprintf(&b, "col_%02d_%02d,", i, j)
+		}
+		b.WriteString(" */ ")
+	}
+	return b.String()
+}
+
+// FillerSource generates a benign (sink-free) application file used to pad
+// app trees to their Figure 11 file and LOC counts.
+func FillerSource(app, name string, lines int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<?php\n// %s/%s.php — generated filler module (no sinks).\n", app, name)
+	emitted := 2
+	i := 0
+	for emitted < lines-1 {
+		switch i % 4 {
+		case 0:
+			fmt.Fprintf(&b, "$s%d = 'item_%d';\n", i, i)
+		case 1:
+			fmt.Fprintf(&b, "$s%d = \"prefix_\" . $s%d;\n", i, i-1)
+		case 2:
+			fmt.Fprintf(&b, "if ($flag_%d == 0) { exit; }\n", i)
+		case 3:
+			fmt.Fprintf(&b, "unp_msgBox($s%d);\n", i-1)
+		}
+		emitted++
+		i++
+	}
+	b.WriteString("unp_msgBox('done');\n")
+	return b.String()
+}
+
+// File is one generated source file of an application tree.
+type File struct {
+	App    string
+	Name   string // file name without extension
+	Source string
+	Vuln   bool
+}
+
+// GenerateApp produces the full file tree of one application, pairing each
+// published vulnerable defect with filler files so the file count and
+// aggregate LOC approximate Figure 11.
+func GenerateApp(app App) ([]File, error) {
+	var files []File
+	usedLOC := 0
+	for _, d := range Defects() {
+		if d.App != app.Name {
+			continue
+		}
+		src, err := Source(d)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, File{App: app.Name, Name: d.Name, Source: src, Vuln: true})
+		usedLOC += strings.Count(src, "\n")
+	}
+	fillerFiles := app.Files - len(files)
+	if fillerFiles < 0 {
+		return nil, fmt.Errorf("corpus: %s has more defects than files", app.Name)
+	}
+	remaining := app.LOC - usedLOC
+	for i := 0; i < fillerFiles; i++ {
+		lines := remaining / (fillerFiles - i)
+		if lines < 3 {
+			lines = 3
+		}
+		name := fmt.Sprintf("mod_%02d", i)
+		src := FillerSource(app.Name, name, lines)
+		files = append(files, File{App: app.Name, Name: name, Source: src})
+		remaining -= strings.Count(src, "\n")
+	}
+	return files, nil
+}
+
+// LOC counts the lines of a generated source.
+func LOC(src string) int { return strings.Count(src, "\n") }

@@ -1,0 +1,175 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"dprle/internal/cfg"
+	"dprle/internal/lang"
+	"dprle/internal/policy"
+	"dprle/internal/symexec"
+)
+
+func TestDefectTableShape(t *testing.T) {
+	ds := Defects()
+	if len(ds) != 17 {
+		t.Fatalf("defects = %d, want 17 (Figure 12)", len(ds))
+	}
+	perApp := map[string]int{}
+	for _, d := range ds {
+		perApp[d.App]++
+	}
+	if perApp["eve"] != 1 || perApp["utopia"] != 4 || perApp["warp"] != 12 {
+		t.Fatalf("per-app counts = %v, want eve 1 / utopia 4 / warp 12 (Figure 11)", perApp)
+	}
+	for _, a := range Apps() {
+		if got := perApp[a.Name]; got != a.Vulnerable {
+			t.Errorf("%s: defects %d ≠ published vulnerable count %d", a.Name, got, a.Vulnerable)
+		}
+	}
+}
+
+func TestDefectByName(t *testing.T) {
+	d, ok := DefectByName("warp/secure")
+	if !ok || !d.Big || d.WantC != 81 {
+		t.Fatalf("DefectByName = %+v/%v", d, ok)
+	}
+	if _, ok := DefectByName("nope/nope"); ok {
+		t.Fatal("unknown defect should not resolve")
+	}
+}
+
+// Every generated defect source must parse and hit its published |FG| and
+// |C| exactly.
+func TestGeneratedMetricsMatchFigure12(t *testing.T) {
+	for _, d := range Defects() {
+		d := d
+		t.Run(d.App+"/"+d.Name, func(t *testing.T) {
+			src, err := Source(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := lang.Parse(d.Name+".php", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := cfg.Build(prog)
+			if g.NumBlocks() != d.WantFG {
+				t.Errorf("|FG| = %d, want %d", g.NumBlocks(), d.WantFG)
+			}
+			paths := cfg.PathsToSinks(prog, 0)
+			if len(paths) != 1 {
+				t.Fatalf("paths = %d, want exactly 1", len(paths))
+			}
+			ps, err := symexec.ForPath(paths[0], policy.SQLDefault())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ps.NumConstraints != d.WantC {
+				t.Errorf("|C| = %d, want %d", ps.NumConstraints, d.WantC)
+			}
+		})
+	}
+}
+
+// Every non-Big defect must be solvable quickly and yield an exploit that
+// passes its faulty filter (quote + trailing digit).
+func TestDefectsExploitable(t *testing.T) {
+	for _, d := range Defects() {
+		if d.Big {
+			continue // exercised (and timed) by the benchmark harness
+		}
+		d := d
+		t.Run(d.App+"/"+d.Name, func(t *testing.T) {
+			findings, stats, err := symexec.AnalyzeSource(d.Name+".php", MustSource(d), symexec.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(findings) != 1 {
+				t.Fatalf("findings = %d, want 1", len(findings))
+			}
+			if stats.Constraints != d.WantC {
+				t.Errorf("|C| = %d, want %d", stats.Constraints, d.WantC)
+			}
+			exploit := findings[0].Inputs["POST:"+d.Name+"_id"]
+			if !strings.ContainsRune(exploit, '\'') {
+				t.Fatalf("exploit %q lacks a quote", exploit)
+			}
+			last := exploit[len(exploit)-1]
+			if last < '0' || last > '9' {
+				t.Fatalf("exploit %q does not end with a digit", exploit)
+			}
+		})
+	}
+}
+
+func TestSecureDefectGeneratesBigConstants(t *testing.T) {
+	d, _ := DefectByName("warp/secure")
+	src := MustSource(d)
+	if len(src) < 8000 {
+		t.Fatalf("secure source only %d bytes; large constants missing", len(src))
+	}
+	prog, err := lang.Parse("secure.php", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := cfg.Build(prog); g.NumBlocks() != d.WantFG {
+		t.Fatalf("|FG| = %d, want %d", g.NumBlocks(), d.WantFG)
+	}
+}
+
+func TestGenerateAppTrees(t *testing.T) {
+	for _, a := range Apps() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			files, err := GenerateApp(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(files) != a.Files {
+				t.Fatalf("files = %d, want %d", len(files), a.Files)
+			}
+			vuln, total := 0, 0
+			for _, f := range files {
+				if f.Vuln {
+					vuln++
+				}
+				total += LOC(f.Source)
+				if _, err := lang.Parse(f.Name+".php", f.Source); err != nil {
+					t.Fatalf("generated file %s does not parse: %v", f.Name, err)
+				}
+			}
+			if vuln != a.Vulnerable {
+				t.Fatalf("vulnerable files = %d, want %d", vuln, a.Vulnerable)
+			}
+			// Aggregate LOC should approximate the published figure. The
+			// vulnerable files' sizes are dictated by their |FG| targets,
+			// so allow a generous band.
+			lo, hi := a.LOC*7/10, a.LOC*13/10
+			if total < lo || total > hi {
+				t.Fatalf("LOC = %d outside [%d, %d] around published %d", total, lo, hi, a.LOC)
+			}
+		})
+	}
+}
+
+func TestFillerHasNoSinks(t *testing.T) {
+	src := FillerSource("eve", "mod_00", 40)
+	prog, err := lang.Parse("mod_00.php", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Sinks() != 0 {
+		t.Fatal("filler files must not contain sinks")
+	}
+	if len(cfg.PathsToSinks(prog, 0)) != 0 {
+		t.Fatal("filler files must have no paths to sinks")
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	d, _ := DefectByName("utopia/styles")
+	if MustSource(d) != MustSource(d) {
+		t.Fatal("generation must be deterministic")
+	}
+}

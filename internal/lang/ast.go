@@ -1,0 +1,172 @@
+// Package lang implements the PHP-subset front-end language used by the
+// paper's evaluation: the fragment of PHP that the eve/utopia/warp web
+// applications use on the paths relevant to SQL injection — string
+// assignment and concatenation, $_GET/$_POST input reads, double-quote
+// variable interpolation, preg_match filtering, exit, and query/echo sinks.
+//
+// The paper consumed defect reports produced by Wassermann & Su's analysis
+// over real PHP; this package is the reproduction's substitute front end
+// (see DESIGN.md §2): it parses PHP-subset sources, from which the cfg and
+// symexec packages derive the same shape of regular-language constraint
+// systems.
+package lang
+
+import "fmt"
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+}
+
+// Expr is a string-valued expression node.
+type Expr interface {
+	exprNode()
+}
+
+// Cond is a branch condition.
+type Cond interface {
+	condNode()
+}
+
+// Assign is `$name = rhs;`.
+type Assign struct {
+	Line int
+	Name string
+	Rhs  Expr
+}
+
+// If is `if (cond) { then } else { else }`; Else may be nil.
+type If struct {
+	Line int
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+// While is `while (cond) { body }`. The path enumerator unrolls loops a
+// bounded number of times (loop-free paths are what the decision procedure
+// consumes); the concrete interpreter executes them natively.
+type While struct {
+	Line int
+	Cond Cond
+	Body []Stmt
+}
+
+// Exit is `exit;` / `exit();` / `die(...);`.
+type Exit struct{ Line int }
+
+// Echo is `echo expr;` or `print(expr);` — the XSS sink.
+type Echo struct {
+	Line int
+	Arg  Expr
+}
+
+// CallStmt is a call evaluated for effect, e.g. `query(...)` (the SQL sink)
+// or `unp_msgBox(...)` (a no-op).
+type CallStmt struct {
+	Line int
+	Call *Call
+}
+
+func (*Assign) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*Exit) stmtNode()     {}
+func (*Echo) stmtNode()     {}
+func (*CallStmt) stmtNode() {}
+
+// StrLit is a string literal (after interpolation splitting, literals are
+// pure text).
+type StrLit struct{ Value string }
+
+// VarRef reads a local variable.
+type VarRef struct{ Name string }
+
+// InputRef reads untrusted user input: $_GET['Key'] or $_POST['Key'].
+type InputRef struct {
+	Source string // "GET" or "POST"
+	Key    string
+}
+
+// ConcatExpr is `a . b . …` (also produced by double-quote interpolation).
+type ConcatExpr struct{ Parts []Expr }
+
+// Call is a function call in expression position, e.g. intval($x).
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (*StrLit) exprNode()     {}
+func (*VarRef) exprNode()     {}
+func (*InputRef) exprNode()   {}
+func (*ConcatExpr) exprNode() {}
+func (*Call) exprNode()       {}
+
+// PregMatch is `preg_match('/pat/flags', arg)`, possibly negated with `!`.
+type PregMatch struct {
+	Pattern         string // pattern text without delimiters
+	Arg             Expr
+	Negated         bool
+	CaseInsensitive bool // the /i flag
+}
+
+// Nondet is a condition the string analysis does not model (comparisons,
+// isset, …): both branches are feasible and contribute no constraint.
+type Nondet struct{ Text string }
+
+func (*PregMatch) condNode() {}
+func (*Nondet) condNode()    {}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	File  string
+	Stmts []Stmt
+}
+
+// Sinks returns the number of query/echo sink statements in the program,
+// counting nested blocks.
+func (p *Program) Sinks() int {
+	n := 0
+	var walk func(stmts []Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *Echo:
+				n++
+			case *CallStmt:
+				if IsSQLSink(s.Call.Name) {
+					n++
+				}
+			case *If:
+				walk(s.Then)
+				walk(s.Else)
+			case *While:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(p.Stmts)
+	return n
+}
+
+// IsSQLSink reports whether the named function sends its argument to the
+// database.
+func IsSQLSink(name string) bool {
+	switch name {
+	case "query", "mysql_query", "unp_query", "pg_query":
+		return true
+	}
+	return false
+}
+
+// Error is a front-end syntax error with position information.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}

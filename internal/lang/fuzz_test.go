@@ -1,0 +1,35 @@
+package lang
+
+import "testing"
+
+// FuzzParse checks the PHP-subset front end never panics: any input either
+// parses into a program (which must then build a CFG-able AST and execute
+// without panicking) or returns a positioned error.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		``,
+		`$x = 'a';`,
+		`<?php $x = $_GET['k']; query($x); ?>`,
+		`if (!preg_match('/[\d]+$/', $x)) { exit; }`,
+		`while ($m) { $x = $x . 'a'; }`,
+		`$q = "a $x {$y} b";`,
+		`echo $x . intval($y);`,
+		`if ($a == $b && foo()) { die(); } else { print($z); }`,
+		`$x = 'unterminated`,
+		`if (preg_match(`,
+		"$x = \"\\\\\";",
+		`/* comment only */`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse("fuzz.php", src)
+		if err != nil {
+			return
+		}
+		// The parsed program must execute without panicking (errors are
+		// fine) on an empty request.
+		_, _ = Execute(prog, Request{})
+		_ = prog.Sinks()
+	})
+}

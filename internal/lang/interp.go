@@ -1,0 +1,331 @@
+package lang
+
+import (
+	"fmt"
+
+	"dprle/internal/regex"
+)
+
+// Concrete interpreter for the PHP subset. The analysis pipeline generates
+// attack inputs symbolically; this interpreter validates them end to end by
+// actually executing the program on a concrete request and observing the
+// queries it sends and the output it echoes — the reproduction's stand-in
+// for running the generated testcase against the real application.
+
+// Request carries the concrete HTTP inputs of one execution.
+type Request struct {
+	Get  map[string]string
+	Post map[string]string
+}
+
+// Trace records the observable effects of one execution.
+type Trace struct {
+	// Queries lists the strings passed to SQL sinks, in order.
+	Queries []string
+	// Echoed is the concatenated output of echo/print statements.
+	Echoed string
+	// Exited reports whether execution ended at an exit statement.
+	Exited bool
+}
+
+// ExecError reports a runtime failure (e.g. an invalid preg_match pattern).
+type ExecError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("exec: line %d: %s", e.Line, e.Msg)
+}
+
+// interpLimits bounds loop execution so malformed programs terminate.
+const maxLoopIterations = 10000
+
+type interp struct {
+	req   Request
+	env   map[string]string
+	trace *Trace
+}
+
+// Execute runs the program concretely on the given request. Conditions the
+// string analysis treats as nondeterministic (comparisons, isset, …)
+// evaluate concretely where possible and default to false otherwise.
+func Execute(prog *Program, req Request) (*Trace, error) {
+	in := &interp{req: req, env: map[string]string{}, trace: &Trace{}}
+	exited, err := in.block(prog.Stmts)
+	if err != nil {
+		return nil, err
+	}
+	in.trace.Exited = exited
+	return in.trace, nil
+}
+
+// block executes statements; it reports whether an exit was reached.
+func (in *interp) block(stmts []Stmt) (bool, error) {
+	for _, s := range stmts {
+		exited, err := in.stmt(s)
+		if err != nil || exited {
+			return exited, err
+		}
+	}
+	return false, nil
+}
+
+func (in *interp) stmt(s Stmt) (bool, error) {
+	switch s := s.(type) {
+	case *Assign:
+		v, err := in.eval(s.Rhs)
+		if err != nil {
+			return false, err
+		}
+		in.env[s.Name] = v
+		return false, nil
+	case *Exit:
+		return true, nil
+	case *Echo:
+		v, err := in.eval(s.Arg)
+		if err != nil {
+			return false, err
+		}
+		in.trace.Echoed += v
+		return false, nil
+	case *CallStmt:
+		_, err := in.call(s.Call, s.Line)
+		return false, err
+	case *If:
+		taken, err := in.cond(s.Cond, s.Line)
+		if err != nil {
+			return false, err
+		}
+		if taken {
+			return in.block(s.Then)
+		}
+		return in.block(s.Else)
+	case *While:
+		for i := 0; ; i++ {
+			if i >= maxLoopIterations {
+				return false, &ExecError{Line: s.Line, Msg: "loop iteration limit exceeded"}
+			}
+			taken, err := in.cond(s.Cond, s.Line)
+			if err != nil {
+				return false, err
+			}
+			if !taken {
+				return false, nil
+			}
+			exited, err := in.block(s.Body)
+			if err != nil || exited {
+				return exited, err
+			}
+		}
+	}
+	return false, fmt.Errorf("exec: unknown statement %T", s)
+}
+
+func (in *interp) cond(c Cond, line int) (bool, error) {
+	switch c := c.(type) {
+	case *PregMatch:
+		arg, err := in.eval(c.Arg)
+		if err != nil {
+			return false, err
+		}
+		r, err := regex.Parse(c.Pattern)
+		if err != nil {
+			return false, &ExecError{Line: line, Msg: err.Error()}
+		}
+		if c.CaseInsensitive {
+			r = r.CaseInsensitive()
+		}
+		m, err := r.MatchLanguage()
+		if err != nil {
+			return false, &ExecError{Line: line, Msg: err.Error()}
+		}
+		matched := m.Accepts(arg)
+		if c.Negated {
+			return !matched, nil
+		}
+		return matched, nil
+	case *Nondet:
+		// The analysis explored both branches; concretely we take the
+		// fall-through (false) so guard-exit padding is not triggered.
+		return false, nil
+	}
+	return false, fmt.Errorf("exec: unknown condition %T", c)
+}
+
+func (in *interp) eval(e Expr) (string, error) {
+	switch e := e.(type) {
+	case *StrLit:
+		return e.Value, nil
+	case *VarRef:
+		return in.env[e.Name], nil // PHP: uninitialized reads as ""
+	case *InputRef:
+		switch e.Source {
+		case "GET":
+			return in.req.Get[e.Key], nil
+		case "POST":
+			return in.req.Post[e.Key], nil
+		}
+		return "", fmt.Errorf("exec: unknown input source %q", e.Source)
+	case *ConcatExpr:
+		out := ""
+		for _, p := range e.Parts {
+			v, err := in.eval(p)
+			if err != nil {
+				return "", err
+			}
+			out += v
+		}
+		return out, nil
+	case *Call:
+		return in.call(e, 0)
+	}
+	return "", fmt.Errorf("exec: unknown expression %T", e)
+}
+
+// call implements the same library functions the symbolic executor models.
+func (in *interp) call(c *Call, line int) (string, error) {
+	arg := func(i int) (string, error) {
+		if i >= len(c.Args) {
+			return "", nil
+		}
+		return in.eval(c.Args[i])
+	}
+	switch c.Name {
+	case "query", "mysql_query", "unp_query", "pg_query":
+		q, err := arg(0)
+		if err != nil {
+			return "", err
+		}
+		in.trace.Queries = append(in.trace.Queries, q)
+		return "", nil
+	case "intval":
+		v, err := arg(0)
+		if err != nil {
+			return "", err
+		}
+		return intvalString(v), nil
+	case "addslashes":
+		v, err := arg(0)
+		if err != nil {
+			return "", err
+		}
+		var out []byte
+		for i := 0; i < len(v); i++ {
+			switch v[i] {
+			case '\'', '"', '\\', 0:
+				out = append(out, '\\')
+			}
+			out = append(out, v[i])
+		}
+		return string(out), nil
+	case "str_replace":
+		search, err := arg(0)
+		if err != nil {
+			return "", err
+		}
+		replace, err := arg(1)
+		if err != nil {
+			return "", err
+		}
+		subject, err := arg(2)
+		if err != nil {
+			return "", err
+		}
+		return replaceAll(subject, search, replace), nil
+	case "trim":
+		v, err := arg(0)
+		if err != nil {
+			return "", err
+		}
+		start, end := 0, len(v)
+		for start < end && isPHPSpace(v[start]) {
+			start++
+		}
+		for end > start && isPHPSpace(v[end-1]) {
+			end--
+		}
+		return v[start:end], nil
+	case "strtolower", "strtoupper":
+		v, err := arg(0)
+		if err != nil {
+			return "", err
+		}
+		out := []byte(v)
+		for i, b := range out {
+			if c.Name == "strtolower" && b >= 'A' && b <= 'Z' {
+				out[i] = b + 32
+			}
+			if c.Name == "strtoupper" && b >= 'a' && b <= 'z' {
+				out[i] = b - 32
+			}
+		}
+		return string(out), nil
+	default:
+		// Unknown calls (unp_msgBox, mystery helpers) return "".
+		return "", nil
+	}
+}
+
+// intvalString mimics PHP's intval-then-string-conversion on string input.
+func intvalString(s string) string {
+	i := 0
+	for i < len(s) && isPHPSpace(s[i]) {
+		i++
+	}
+	start := i
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		i++
+	}
+	digits := i
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == digits {
+		return "0"
+	}
+	// Strip leading zeros (but keep a single zero).
+	out := s[start:i]
+	neg := false
+	if out[0] == '-' || out[0] == '+' {
+		neg = out[0] == '-'
+		out = out[1:]
+	}
+	for len(out) > 1 && out[0] == '0' {
+		out = out[1:]
+	}
+	if out == "0" {
+		return "0"
+	}
+	if neg {
+		return "-" + out
+	}
+	return out
+}
+
+// replaceAll substitutes every occurrence of search in subject, scanning
+// left to right without rescanning replacements (PHP semantics).
+func replaceAll(subject, search, replace string) string {
+	if search == "" {
+		return subject
+	}
+	var out []byte
+	for i := 0; i < len(subject); {
+		if i+len(search) <= len(subject) && subject[i:i+len(search)] == search {
+			out = append(out, replace...)
+			i += len(search)
+			continue
+		}
+		out = append(out, subject[i])
+		i++
+	}
+	return string(out)
+}
+
+func isPHPSpace(b byte) bool {
+	switch b {
+	case ' ', '\t', '\n', '\r', '\v', '\f', 0:
+		return true
+	}
+	return false
+}

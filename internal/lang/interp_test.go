@@ -1,0 +1,186 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func exec(t *testing.T, src string, req Request) *Trace {
+	t.Helper()
+	prog := MustParse("t.php", src)
+	tr, err := Execute(prog, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestExecuteFigure1WithExploit(t *testing.T) {
+	src := `<?php
+$newsid = $_POST['posted_newsid'];
+if (!preg_match('/[\d]+$/', $newsid)) { exit; }
+$newsid = "nid_" . $newsid;
+$idnews = query("SELECT * FROM news WHERE newsid=$newsid");
+`
+	// The paper's attack input passes the faulty filter…
+	tr := exec(t, src, Request{Post: map[string]string{"posted_newsid": "' OR 1=1 ; DROP news --9"}})
+	if tr.Exited {
+		t.Fatal("exploit should pass the filter")
+	}
+	if len(tr.Queries) != 1 {
+		t.Fatalf("queries = %v", tr.Queries)
+	}
+	want := "SELECT * FROM news WHERE newsid=nid_' OR 1=1 ; DROP news --9"
+	if tr.Queries[0] != want {
+		t.Fatalf("query = %q, want %q", tr.Queries[0], want)
+	}
+	// …while a benign input produces a quote-free query…
+	tr2 := exec(t, src, Request{Post: map[string]string{"posted_newsid": "42"}})
+	if strings.Contains(tr2.Queries[0], "'") {
+		t.Fatal("benign input produced a quoted query")
+	}
+	// …and a non-matching input exits before the sink.
+	tr3 := exec(t, src, Request{Post: map[string]string{"posted_newsid": "abc"}})
+	if !tr3.Exited || len(tr3.Queries) != 0 {
+		t.Fatalf("filter should reject: %+v", tr3)
+	}
+}
+
+func TestExecuteEcho(t *testing.T) {
+	tr := exec(t, `echo "a"; echo $_GET['x']; print("b");`,
+		Request{Get: map[string]string{"x": "<script>"}})
+	if tr.Echoed != "a<script>b" {
+		t.Fatalf("echoed = %q", tr.Echoed)
+	}
+}
+
+func TestExecuteNondetTakesFallthrough(t *testing.T) {
+	tr := exec(t, `if ($flag == 1) { exit; } $x = 'ok'; query($x);`, Request{})
+	if tr.Exited || len(tr.Queries) != 1 || tr.Queries[0] != "ok" {
+		t.Fatalf("trace = %+v", tr)
+	}
+	tr2 := exec(t, `if ($flag == 1) { exit; } else { $y = 'e'; } query($y);`, Request{})
+	if tr2.Queries[0] != "e" {
+		t.Fatalf("else branch not taken: %+v", tr2)
+	}
+}
+
+func TestExecuteIntval(t *testing.T) {
+	cases := map[string]string{
+		"42":      "42",
+		"  -7abc": "-7",
+		"abc":     "0",
+		"0007":    "7",
+		"+5":      "5",
+		"-0":      "0",
+		"":        "0",
+	}
+	for in, want := range cases {
+		tr := exec(t, `$n = intval($_GET['x']); query($n);`,
+			Request{Get: map[string]string{"x": in}})
+		if tr.Queries[0] != want {
+			t.Errorf("intval(%q) = %q, want %q", in, tr.Queries[0], want)
+		}
+	}
+}
+
+func TestExecuteAddslashes(t *testing.T) {
+	tr := exec(t, `$s = addslashes($_GET['x']); query($s);`,
+		Request{Get: map[string]string{"x": `a'b"c\d`}})
+	if tr.Queries[0] != `a\'b\"c\\d` {
+		t.Fatalf("addslashes = %q", tr.Queries[0])
+	}
+}
+
+func TestExecuteStringHelpers(t *testing.T) {
+	tr := exec(t, `$a = trim($_GET['x']); $b = strtolower($a); $c = strtoupper($a); query($b . "|" . $c);`,
+		Request{Get: map[string]string{"x": "  MiXeD  "}})
+	if tr.Queries[0] != "mixed|MIXED" {
+		t.Fatalf("helpers = %q", tr.Queries[0])
+	}
+}
+
+func TestExecuteUnknownCallReturnsEmpty(t *testing.T) {
+	tr := exec(t, `$x = mystery('a', 'b'); query("q" . $x);`, Request{})
+	if tr.Queries[0] != "q" {
+		t.Fatalf("unknown call = %q", tr.Queries[0])
+	}
+}
+
+func TestExecuteBadPatternErrors(t *testing.T) {
+	prog := MustParse("t.php", `if (preg_match('/(/', $x)) { exit; }`)
+	if _, err := Execute(prog, Request{}); err == nil {
+		t.Fatal("invalid pattern must error at execution")
+	}
+}
+
+func TestExecuteStrReplace(t *testing.T) {
+	tr := exec(t, `$x = str_replace("'", "''", $_GET['x']); query($x);`,
+		Request{Get: map[string]string{"x": "a'b''c"}})
+	if tr.Queries[0] != "a''b''''c" {
+		t.Fatalf("str_replace = %q", tr.Queries[0])
+	}
+	tr2 := exec(t, `$x = str_replace("ab", "X", $_GET['x']); query($x);`,
+		Request{Get: map[string]string{"x": "ababa"}})
+	if tr2.Queries[0] != "XXa" {
+		t.Fatalf("multi-byte replace = %q", tr2.Queries[0])
+	}
+	tr3 := exec(t, `$x = str_replace("", "X", $_GET['x']); query($x);`,
+		Request{Get: map[string]string{"x": "ab"}})
+	if tr3.Queries[0] != "ab" {
+		t.Fatalf("empty search = %q", tr3.Queries[0])
+	}
+}
+
+func TestExecuteWhileLoop(t *testing.T) {
+	// The loop condition is a preg_match over evolving state: append 'a'
+	// until the value ends with three a's.
+	src := `
+$x = 'start';
+while (!preg_match('/aaa$/', $x)) {
+    $x = $x . 'a';
+}
+query($x);
+`
+	tr := exec(t, src, Request{})
+	if len(tr.Queries) != 1 || tr.Queries[0] != "startaaa" {
+		t.Fatalf("loop result = %+v", tr)
+	}
+}
+
+func TestExecuteWhileNondetSkipped(t *testing.T) {
+	// Nondet loop conditions evaluate false: zero iterations.
+	tr := exec(t, `$x = 'a'; while ($more) { $x = $x . 'b'; } query($x);`, Request{})
+	if tr.Queries[0] != "a" {
+		t.Fatalf("nondet loop should not run: %+v", tr)
+	}
+}
+
+func TestExecuteInfiniteLoopBounded(t *testing.T) {
+	// A loop whose preg_match condition never flips must hit the iteration
+	// limit and report an error instead of hanging.
+	src := `
+$x = 'b';
+while (!preg_match('/^a/', $x)) {
+    $x = 'b';
+}
+`
+	prog := MustParse("t.php", src)
+	if _, err := Execute(prog, Request{}); err == nil {
+		t.Fatal("runaway loop must error")
+	}
+}
+
+func TestExecuteWhileBodyExit(t *testing.T) {
+	src := `
+$x = 'aaa';
+while (preg_match('/a/', $x)) {
+    exit;
+}
+query($x);
+`
+	tr := exec(t, src, Request{})
+	if !tr.Exited || len(tr.Queries) != 0 {
+		t.Fatalf("exit in loop body: %+v", tr)
+	}
+}

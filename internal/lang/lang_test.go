@@ -1,0 +1,277 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1 is the paper's Fig. 1 fragment, adapted from Utopia News Pro.
+const figure1 = `<?php
+$newsid = $_POST['posted_newsid'];
+if (!preg_match('/[\d]+$/', $newsid)) {
+    unp_msgBox('Invalid article newsID.');
+    exit;
+}
+$newsid = "nid_" . $newsid;
+$idnews = query("SELECT * FROM news" .
+                " WHERE newsid=$newsid");
+`
+
+func TestParseFigure1(t *testing.T) {
+	prog, err := Parse("fig1.php", figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 4 {
+		t.Fatalf("stmts = %d, want 4", len(prog.Stmts))
+	}
+	// Statement 1: input read.
+	a, ok := prog.Stmts[0].(*Assign)
+	if !ok || a.Name != "newsid" {
+		t.Fatalf("stmt 0 = %#v", prog.Stmts[0])
+	}
+	in, ok := a.Rhs.(*InputRef)
+	if !ok || in.Source != "POST" || in.Key != "posted_newsid" {
+		t.Fatalf("rhs = %#v", a.Rhs)
+	}
+	// Statement 2: negated preg_match guard with exit.
+	iff, ok := prog.Stmts[1].(*If)
+	if !ok {
+		t.Fatalf("stmt 1 = %#v", prog.Stmts[1])
+	}
+	pm, ok := iff.Cond.(*PregMatch)
+	if !ok || !pm.Negated || pm.Pattern != `[\d]+$` {
+		t.Fatalf("cond = %#v", iff.Cond)
+	}
+	if len(iff.Then) != 2 {
+		t.Fatalf("then block = %d stmts", len(iff.Then))
+	}
+	if _, ok := iff.Then[1].(*Exit); !ok {
+		t.Fatalf("then[1] = %#v", iff.Then[1])
+	}
+	// Statement 3: concatenation assignment.
+	a3 := prog.Stmts[2].(*Assign)
+	cc, ok := a3.Rhs.(*ConcatExpr)
+	if !ok || len(cc.Parts) != 2 {
+		t.Fatalf("rhs = %#v", a3.Rhs)
+	}
+	// Statement 4: query(...) with interpolation.
+	a4 := prog.Stmts[3].(*Assign)
+	call, ok := a4.Rhs.(*Call)
+	if !ok || call.Name != "query" {
+		t.Fatalf("rhs = %#v", a4.Rhs)
+	}
+	arg := call.Args[0].(*ConcatExpr)
+	// "SELECT * FROM news" . (" WHERE newsid=" $newsid) → 3 flat parts after
+	// interpolation: lit, lit, var.
+	found := false
+	for _, part := range arg.Parts {
+		if inner, ok := part.(*ConcatExpr); ok {
+			for _, ip := range inner.Parts {
+				if v, ok := ip.(*VarRef); ok && v.Name == "newsid" {
+					found = true
+				}
+			}
+		}
+		if v, ok := part.(*VarRef); ok && v.Name == "newsid" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("interpolated $newsid lost")
+	}
+}
+
+func TestDoubleQuoteInterpolation(t *testing.T) {
+	prog := MustParse("t.php", `$q = "a $x b {$y} c";`)
+	cc := prog.Stmts[0].(*Assign).Rhs.(*ConcatExpr)
+	if len(cc.Parts) != 5 {
+		t.Fatalf("parts = %d, want 5", len(cc.Parts))
+	}
+	if cc.Parts[0].(*StrLit).Value != "a " {
+		t.Fatal("leading literal wrong")
+	}
+	if cc.Parts[1].(*VarRef).Name != "x" || cc.Parts[3].(*VarRef).Name != "y" {
+		t.Fatal("interpolated vars wrong")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	prog := MustParse("t.php", `$a = 'it\'s'; $b = "x\n\t\"\$z";`)
+	if prog.Stmts[0].(*Assign).Rhs.(*StrLit).Value != "it's" {
+		t.Fatal("single-quote escape wrong")
+	}
+	if prog.Stmts[1].(*Assign).Rhs.(*StrLit).Value != "x\n\t\"$z" {
+		t.Fatal("double-quote escapes wrong")
+	}
+}
+
+func TestIfElseChains(t *testing.T) {
+	src := `
+if (preg_match('/a/', $x)) { $y = 'a'; }
+else if (preg_match('/b/', $x)) { $y = 'b'; }
+elseif ($x == 'q') { $y = 'c'; }
+else { $y = 'd'; }
+`
+	prog := MustParse("t.php", src)
+	iff := prog.Stmts[0].(*If)
+	if len(iff.Else) != 1 {
+		t.Fatal("else-if chain not nested")
+	}
+	second := iff.Else[0].(*If)
+	if second.Cond.(*PregMatch).Pattern != "b" {
+		t.Fatal("second condition wrong")
+	}
+	third := second.Else[0].(*If)
+	if _, ok := third.Cond.(*Nondet); !ok {
+		t.Fatalf("comparison should be Nondet, got %#v", third.Cond)
+	}
+	if len(third.Else) != 1 {
+		t.Fatal("final else missing")
+	}
+}
+
+func TestNondetConditions(t *testing.T) {
+	for _, src := range []string{
+		`if (isset($_GET['x'])) { exit; }`,
+		`if ($a == $b) { exit; }`,
+		`if (preg_match('/a/', $x) && $b) { exit; }`, // conjunction degrades
+		`if (!empty($x)) { exit; }`,
+	} {
+		prog := MustParse("t.php", src)
+		iff := prog.Stmts[0].(*If)
+		if _, ok := iff.Cond.(*Nondet); !ok {
+			t.Errorf("%s: cond = %#v, want Nondet", src, iff.Cond)
+		}
+	}
+}
+
+func TestDoubleNegation(t *testing.T) {
+	prog := MustParse("t.php", `if (!!preg_match('/a/', $x)) { exit; }`)
+	pm := prog.Stmts[0].(*If).Cond.(*PregMatch)
+	if pm.Negated {
+		t.Fatal("double negation should cancel")
+	}
+}
+
+func TestExitForms(t *testing.T) {
+	prog := MustParse("t.php", `exit; exit(); die('bye'); exit(1);`)
+	if len(prog.Stmts) != 4 {
+		t.Fatalf("stmts = %d", len(prog.Stmts))
+	}
+	for i, s := range prog.Stmts {
+		if _, ok := s.(*Exit); !ok {
+			t.Errorf("stmt %d = %#v", i, s)
+		}
+	}
+}
+
+func TestEchoForms(t *testing.T) {
+	prog := MustParse("t.php", `echo $x; print($y);`)
+	if len(prog.Stmts) != 2 {
+		t.Fatal("stmt count")
+	}
+	for _, s := range prog.Stmts {
+		if _, ok := s.(*Echo); !ok {
+			t.Errorf("stmt = %#v", s)
+		}
+	}
+}
+
+func TestCallExpressionsAndStatements(t *testing.T) {
+	prog := MustParse("t.php", `$x = intval($_GET['n']); unp_msgBox('hi'); query("SELECT" . $x);`)
+	if call, ok := prog.Stmts[0].(*Assign).Rhs.(*Call); !ok || call.Name != "intval" {
+		t.Fatal("call expression wrong")
+	}
+	cs := prog.Stmts[2].(*CallStmt)
+	if !IsSQLSink(cs.Call.Name) {
+		t.Fatal("query should be a SQL sink")
+	}
+}
+
+func TestSinksCount(t *testing.T) {
+	prog := MustParse("t.php", `
+query($a);
+if ($x) { mysql_query($b); } else { echo $c; }
+unp_msgBox($d);
+`)
+	if got := prog.Sinks(); got != 3 {
+		t.Fatalf("Sinks = %d, want 3", got)
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	prog := MustParse("t.php", `
+// line comment
+# hash comment
+/* block
+   comment */
+$x = 'a';
+`)
+	if len(prog.Stmts) != 1 {
+		t.Fatalf("stmts = %d", len(prog.Stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`$x = ;`,
+		`$x = 'unterminated`,
+		`if (preg_match('/a/', $x) { exit; }`, // missing close paren → unterminated cond
+		`$ = 'a';`,
+		`$x = $_GET[5];`,
+		`foo(;`,
+		`if`,
+		`$x = "unclosed {$y";`,
+	}
+	for _, src := range bad {
+		if _, err := Parse("t.php", src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		} else if !strings.Contains(err.Error(), "t.php:") {
+			t.Errorf("error %q lacks file position", err)
+		}
+	}
+}
+
+func TestPregMatchDelimiters(t *testing.T) {
+	prog := MustParse("t.php", `if (preg_match('#ab/cd#i', $x)) { exit; }`)
+	pm := prog.Stmts[0].(*If).Cond.(*PregMatch)
+	if pm.Pattern != "ab/cd" {
+		t.Fatalf("pattern = %q", pm.Pattern)
+	}
+}
+
+func TestPhpTagsStripped(t *testing.T) {
+	prog := MustParse("t.php", "<?php $x = 'a'; ?>")
+	if len(prog.Stmts) != 1 {
+		t.Fatal("php tags not stripped")
+	}
+}
+
+func TestPregMatchCaseInsensitiveFlag(t *testing.T) {
+	prog := MustParse("t.php", `if (preg_match('/^admin$/i', $x)) { exit; }`)
+	pm := prog.Stmts[0].(*If).Cond.(*PregMatch)
+	if !pm.CaseInsensitive || pm.Pattern != "^admin$" {
+		t.Fatalf("pm = %+v", pm)
+	}
+	plain := MustParse("t.php", `if (preg_match('/^admin$/', $x)) { exit; }`)
+	if plain.Stmts[0].(*If).Cond.(*PregMatch).CaseInsensitive {
+		t.Fatal("flag misdetected")
+	}
+}
+
+func TestExecuteCaseInsensitiveMatch(t *testing.T) {
+	src := `
+$x = $_GET['x'];
+if (!preg_match('/^yes$/i', $x)) { exit; }
+query("ok");
+`
+	tr := exec(t, src, Request{Get: map[string]string{"x": "YES"}})
+	if tr.Exited || len(tr.Queries) != 1 {
+		t.Fatalf("case-insensitive match failed: %+v", tr)
+	}
+	tr2 := exec(t, src, Request{Get: map[string]string{"x": "no"}})
+	if !tr2.Exited {
+		t.Fatal("non-match should exit")
+	}
+}

@@ -1,0 +1,254 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tkVar    tokKind = iota // $name
+	tkIdent                 // bare identifier / keyword
+	tkString                // string literal (raw text plus interpolation info)
+	tkPunct                 // single punctuation: ( ) { } [ ] ; , . = !
+	tkOp                    // multi-char operators: == != === !== <= >= && ||
+	tkEOF
+)
+
+type tok struct {
+	kind  tokKind
+	text  string
+	line  int
+	parts []Expr // for tkString: interpolation-split parts
+}
+
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+	toks []tok
+}
+
+func lexSource(file, src string) ([]tok, error) {
+	l := &lexer{file: file, src: src, line: 1}
+	// Strip a leading <?php and a trailing ?> if present.
+	if i := strings.Index(l.src, "<?php"); i >= 0 {
+		l.line += strings.Count(l.src[:i], "\n")
+		l.src = l.src[i+len("<?php"):]
+	}
+	if i := strings.LastIndex(l.src, "?>"); i >= 0 {
+		l.src = l.src[:i]
+	}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tkEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{File: l.file, Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (tok, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return tok{}, l.errf("unterminated block comment")
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return l.scan()
+		}
+	}
+	return tok{kind: tkEOF, line: l.line}, nil
+}
+
+func (l *lexer) scan() (tok, error) {
+	c := l.src[l.pos]
+	switch {
+	case c == '$':
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.src) && isWordByte(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start {
+			return tok{}, l.errf("bare '$'")
+		}
+		return tok{kind: tkVar, text: l.src[start:l.pos], line: l.line}, nil
+	case isWordByte(c):
+		start := l.pos
+		for l.pos < len(l.src) && isWordByte(l.src[l.pos]) {
+			l.pos++
+		}
+		return tok{kind: tkIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case c == '\'':
+		return l.scanSingleQuote()
+	case c == '"':
+		return l.scanDoubleQuote()
+	default:
+		// Multi-character operators first.
+		for _, op := range []string{"===", "!==", "==", "!=", "<=", ">=", "&&", "||", "=>"} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				return tok{kind: tkOp, text: op, line: l.line}, nil
+			}
+		}
+		switch c {
+		case '(', ')', '{', '}', '[', ']', ';', ',', '.', '=', '!', '<', '>':
+			l.pos++
+			return tok{kind: tkPunct, text: string([]byte{c}), line: l.line}, nil
+		}
+		return tok{}, l.errf("unexpected character %q", c)
+	}
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// scanSingleQuote lexes a PHP single-quoted string: only \' and \\ escape.
+func (l *lexer) scanSingleQuote() (tok, error) {
+	line := l.line
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '\'':
+			l.pos++
+			return tok{kind: tkString, text: sb.String(), line: line,
+				parts: []Expr{&StrLit{Value: sb.String()}}}, nil
+		case '\\':
+			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '\'' || l.src[l.pos+1] == '\\') {
+				sb.WriteByte(l.src[l.pos+1])
+				l.pos += 2
+				continue
+			}
+			sb.WriteByte(c)
+			l.pos++
+		case '\n':
+			l.line++
+			sb.WriteByte(c)
+			l.pos++
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return tok{}, l.errf("unterminated string")
+}
+
+// scanDoubleQuote lexes a PHP double-quoted string, splitting `$var` and
+// `{$var}` interpolations into concatenation parts.
+func (l *lexer) scanDoubleQuote() (tok, error) {
+	line := l.line
+	l.pos++ // opening quote
+	var parts []Expr
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() > 0 {
+			parts = append(parts, &StrLit{Value: sb.String()})
+			sb.Reset()
+		}
+	}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '"':
+			l.pos++
+			flush()
+			if len(parts) == 0 {
+				parts = []Expr{&StrLit{Value: ""}}
+			}
+			text := ""
+			for _, p := range parts {
+				if s, ok := p.(*StrLit); ok {
+					text += s.Value
+				}
+			}
+			return tok{kind: tkString, text: text, line: line, parts: parts}, nil
+		case c == '\\' && l.pos+1 < len(l.src):
+			esc := l.src[l.pos+1]
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '"', '\\', '$':
+				sb.WriteByte(esc)
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(esc)
+			}
+			l.pos += 2
+		case c == '$' && l.pos+1 < len(l.src) && isWordByte(l.src[l.pos+1]):
+			l.pos++
+			start := l.pos
+			for l.pos < len(l.src) && isWordByte(l.src[l.pos]) {
+				l.pos++
+			}
+			flush()
+			parts = append(parts, &VarRef{Name: l.src[start:l.pos]})
+		case c == '{' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '$':
+			end := strings.IndexByte(l.src[l.pos:], '}')
+			if end < 0 {
+				return tok{}, l.errf("unterminated {$…} interpolation")
+			}
+			name := l.src[l.pos+2 : l.pos+end]
+			if !isIdent(name) {
+				return tok{}, l.errf("unsupported interpolation {%s}", l.src[l.pos+1:l.pos+end])
+			}
+			flush()
+			parts = append(parts, &VarRef{Name: name})
+			l.pos += end + 1
+		case c == '\n':
+			l.line++
+			sb.WriteByte(c)
+			l.pos++
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return tok{}, l.errf("unterminated string")
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isWordByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,403 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+type parser struct {
+	file string
+	toks []tok
+	pos  int
+}
+
+// Parse parses a PHP-subset source file into a Program.
+func Parse(file, src string) (*Program, error) {
+	toks, err := lexSource(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	var stmts []Stmt
+	for p.cur().kind != tkEOF {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+	}
+	return &Program{File: file, Stmts: stmts}, nil
+}
+
+// MustParse is Parse for statically known sources.
+func MustParse(file, src string) *Program {
+	p, err := Parse(file, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) cur() tok  { return p.toks[p.pos] }
+func (p *parser) next() tok { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return &Error{File: p.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) acceptPunct(text string) bool {
+	if p.cur().kind == tkPunct && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(text string) error {
+	t := p.next()
+	if t.kind != tkPunct || t.text != text {
+		return p.errf(t.line, "expected %q, found %q", text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tkVar:
+		return p.assign()
+	case t.kind == tkIdent && t.text == "if":
+		return p.ifStmt()
+	case t.kind == tkIdent && t.text == "while":
+		return p.whileStmt()
+	case t.kind == tkIdent && (t.text == "exit" || t.text == "die"):
+		return p.exitStmt()
+	case t.kind == tkIdent && (t.text == "echo" || t.text == "print"):
+		return p.echoStmt()
+	case t.kind == tkIdent:
+		return p.callStmt()
+	case t.kind == tkPunct && t.text == ";":
+		p.pos++ // empty statement
+		return nil, nil
+	}
+	return nil, p.errf(t.line, "unexpected token %q", t.text)
+}
+
+func (p *parser) assign() (Stmt, error) {
+	v := p.next() // tkVar
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &Assign{Line: v.line, Name: v.text, Rhs: rhs}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	kw := p.next() // 'if'
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.cond()
+	if err != nil {
+		return nil, err
+	}
+	thenBlock, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var elseBlock []Stmt
+	if p.cur().kind == tkIdent && p.cur().text == "else" {
+		p.pos++
+		if p.cur().kind == tkIdent && p.cur().text == "if" {
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			elseBlock = []Stmt{nested}
+		} else {
+			elseBlock, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else if p.cur().kind == tkIdent && p.cur().text == "elseif" {
+		p.toks[p.pos].text = "if" // rewrite and re-parse as else { if … }
+		nested, err := p.ifStmt()
+		if err != nil {
+			return nil, err
+		}
+		elseBlock = []Stmt{nested}
+	}
+	return &If{Line: kw.line, Cond: cond, Then: thenBlock, Else: elseBlock}, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	kw := p.next() // 'while'
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.cond()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Line: kw.line, Cond: cond, Body: body}, nil
+}
+
+// cond parses a condition up to and including the closing ')'. preg_match
+// (possibly negated) is modeled precisely; anything else becomes Nondet.
+func (p *parser) cond() (Cond, error) {
+	negated := false
+	for p.cur().kind == tkPunct && p.cur().text == "!" {
+		negated = !negated
+		p.pos++
+	}
+	if p.cur().kind == tkIdent && p.cur().text == "preg_match" {
+		save := p.pos
+		pm, err := p.pregMatch(negated)
+		if err == nil {
+			// The whole condition must end here; otherwise (e.g. a
+			// conjunction) fall back to Nondet.
+			if p.acceptPunct(")") {
+				return pm, nil
+			}
+		}
+		p.pos = save
+	}
+	// Nondet: consume balanced tokens until the ')' closing the if.
+	var text strings.Builder
+	depth := 0
+	for {
+		t := p.cur()
+		if t.kind == tkEOF {
+			return nil, p.errf(t.line, "unterminated condition")
+		}
+		if t.kind == tkPunct {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				if depth == 0 {
+					p.pos++
+					return &Nondet{Text: strings.TrimSpace(text.String())}, nil
+				}
+				depth--
+			}
+		}
+		text.WriteString(t.text)
+		text.WriteByte(' ')
+		p.pos++
+	}
+}
+
+// pregMatch parses `preg_match ( 'pattern' , expr )` without consuming the
+// condition's closing parenthesis.
+func (p *parser) pregMatch(negated bool) (Cond, error) {
+	kw := p.next() // preg_match
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	pat := p.next()
+	if pat.kind != tkString {
+		return nil, p.errf(pat.line, "preg_match pattern must be a string literal")
+	}
+	pattern, flags, err := stripDelimiters(pat.text)
+	if err != nil {
+		return nil, p.errf(pat.line, "%v", err)
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	arg, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	_ = kw
+	return &PregMatch{
+		Pattern: pattern, Arg: arg, Negated: negated,
+		CaseInsensitive: strings.ContainsRune(flags, 'i'),
+	}, nil
+}
+
+// stripDelimiters removes the PCRE delimiters and returns the trailing
+// flags: "/[\d]+$/i" → ("[\d]+$", "i").
+func stripDelimiters(pat string) (pattern, flags string, err error) {
+	if len(pat) < 2 {
+		return "", "", fmt.Errorf("pattern %q too short", pat)
+	}
+	delim := pat[0]
+	end := strings.LastIndexByte(pat[1:], delim)
+	if end < 0 {
+		return "", "", fmt.Errorf("pattern %q missing closing delimiter", pat)
+	}
+	return pat[1 : 1+end], pat[2+end:], nil
+}
+
+// block parses `{ stmt* }` or a single statement.
+func (p *parser) block() ([]Stmt, error) {
+	if p.acceptPunct("{") {
+		var stmts []Stmt
+		for !p.acceptPunct("}") {
+			if p.cur().kind == tkEOF {
+				return nil, p.errf(p.cur().line, "unterminated block")
+			}
+			s, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				stmts = append(stmts, s)
+			}
+		}
+		return stmts, nil
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, nil
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) exitStmt() (Stmt, error) {
+	kw := p.next()
+	if p.acceptPunct("(") {
+		// Optional message argument.
+		if p.cur().kind != tkPunct || p.cur().text != ")" {
+			if _, err := p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &Exit{Line: kw.line}, nil
+}
+
+func (p *parser) echoStmt() (Stmt, error) {
+	kw := p.next()
+	paren := p.acceptPunct("(")
+	arg, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if paren {
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &Echo{Line: kw.line, Arg: arg}, nil
+}
+
+func (p *parser) callStmt() (Stmt, error) {
+	name := p.next()
+	call, err := p.callAfterName(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &CallStmt{Line: name.line, Call: call}, nil
+}
+
+func (p *parser) callAfterName(name tok) (*Call, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if !(p.cur().kind == tkPunct && p.cur().text == ")") {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &Call{Name: name.text, Args: args}, nil
+}
+
+// expr := primary ('.' primary)*
+func (p *parser) expr() (Expr, error) {
+	first, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{first}
+	for p.acceptPunct(".") {
+		next, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &ConcatExpr{Parts: parts}, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tkString:
+		if len(t.parts) == 1 {
+			return t.parts[0], nil
+		}
+		return &ConcatExpr{Parts: t.parts}, nil
+	case tkVar:
+		if t.text == "_GET" || t.text == "_POST" {
+			if err := p.expectPunct("["); err != nil {
+				return nil, err
+			}
+			key := p.next()
+			if key.kind != tkString {
+				return nil, p.errf(key.line, "input key must be a string literal")
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &InputRef{Source: strings.TrimPrefix(t.text, "_"), Key: key.text}, nil
+		}
+		return &VarRef{Name: t.text}, nil
+	case tkIdent:
+		if p.cur().kind == tkPunct && p.cur().text == "(" {
+			return p.callAfterName(t)
+		}
+		// Bare identifiers in expression position are numeric or boolean
+		// literals and named constants (exit(1), intval($x, 10), true);
+		// their textual form is a sound model for string contexts.
+		return &StrLit{Value: t.text}, nil
+	}
+	return nil, p.errf(t.line, "unexpected token %q in expression", t.text)
+}

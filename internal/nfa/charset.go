@@ -1,0 +1,228 @@
+// Package nfa implements nondeterministic finite automata over the byte
+// alphabet Σ = {0, …, 255}, with character-class-labelled transitions and
+// tagged ε-transitions. It provides the automata substrate required by the
+// DPRLE decision procedure: concatenation with seam-tagged ε-edges, the
+// cross-product (intersection) construction that preserves seam tags,
+// determinization, complementation, minimization, inclusion and equivalence
+// checks, emptiness, membership, shortest-witness extraction, and bounded
+// language enumeration.
+package nfa
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// CharSet is a set of byte values, represented as a 256-bit vector.
+// The zero value is the empty set.
+type CharSet [4]uint64
+
+// EmptySet returns the empty character set.
+func EmptySet() CharSet { return CharSet{} }
+
+// AnyByte returns the full alphabet Σ (all 256 byte values).
+func AnyByte() CharSet {
+	return CharSet{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+}
+
+// Singleton returns the set {b}.
+func Singleton(b byte) CharSet {
+	var s CharSet
+	s.Add(b)
+	return s
+}
+
+// Range returns the set {lo, …, hi}. If lo > hi the result is empty.
+func Range(lo, hi byte) CharSet {
+	var s CharSet
+	s.AddRange(lo, hi)
+	return s
+}
+
+// FromString returns the set of bytes appearing in str.
+func FromString(str string) CharSet {
+	var s CharSet
+	for i := 0; i < len(str); i++ {
+		s.Add(str[i])
+	}
+	return s
+}
+
+// Add inserts b into the set.
+func (s *CharSet) Add(b byte) {
+	s[b>>6] |= 1 << (b & 63)
+}
+
+// AddRange inserts every byte in [lo, hi] into the set.
+func (s *CharSet) AddRange(lo, hi byte) {
+	for c := int(lo); c <= int(hi); c++ {
+		s.Add(byte(c))
+	}
+}
+
+// Remove deletes b from the set.
+func (s *CharSet) Remove(b byte) {
+	s[b>>6] &^= 1 << (b & 63)
+}
+
+// Contains reports whether b is in the set.
+func (s CharSet) Contains(b byte) bool {
+	return s[b>>6]&(1<<(b&63)) != 0
+}
+
+// IsEmpty reports whether the set contains no bytes.
+func (s CharSet) IsEmpty() bool {
+	return s[0] == 0 && s[1] == 0 && s[2] == 0 && s[3] == 0
+}
+
+// Count returns the number of bytes in the set.
+func (s CharSet) Count() int {
+	return bits.OnesCount64(s[0]) + bits.OnesCount64(s[1]) +
+		bits.OnesCount64(s[2]) + bits.OnesCount64(s[3])
+}
+
+// Union returns s ∪ t.
+func (s CharSet) Union(t CharSet) CharSet {
+	return CharSet{s[0] | t[0], s[1] | t[1], s[2] | t[2], s[3] | t[3]}
+}
+
+// Intersect returns s ∩ t.
+func (s CharSet) Intersect(t CharSet) CharSet {
+	return CharSet{s[0] & t[0], s[1] & t[1], s[2] & t[2], s[3] & t[3]}
+}
+
+// Subtract returns s \ t.
+func (s CharSet) Subtract(t CharSet) CharSet {
+	return CharSet{s[0] &^ t[0], s[1] &^ t[1], s[2] &^ t[2], s[3] &^ t[3]}
+}
+
+// Complement returns Σ \ s.
+func (s CharSet) Complement() CharSet {
+	return CharSet{^s[0], ^s[1], ^s[2], ^s[3]}
+}
+
+// Equal reports whether s and t contain exactly the same bytes.
+func (s CharSet) Equal(t CharSet) bool { return s == t }
+
+// Intersects reports whether s ∩ t is nonempty without materializing it.
+func (s CharSet) Intersects(t CharSet) bool {
+	return s[0]&t[0] != 0 || s[1]&t[1] != 0 || s[2]&t[2] != 0 || s[3]&t[3] != 0
+}
+
+// Min returns the smallest byte in the set. It reports ok=false when the set
+// is empty.
+func (s CharSet) Min() (b byte, ok bool) {
+	for w := 0; w < 4; w++ {
+		if s[w] != 0 {
+			return byte(w*64 + bits.TrailingZeros64(s[w])), true
+		}
+	}
+	return 0, false
+}
+
+// Bytes returns the members of the set in ascending order.
+func (s CharSet) Bytes() []byte {
+	out := make([]byte, 0, s.Count())
+	for w := 0; w < 4; w++ {
+		word := s[w]
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			out = append(out, byte(w*64+bit))
+			word &^= 1 << bit
+		}
+	}
+	return out
+}
+
+// ranges returns the maximal contiguous [lo,hi] runs in the set.
+func (s CharSet) ranges() [][2]byte {
+	var out [][2]byte
+	c := 0
+	for c < 256 {
+		if !s.Contains(byte(c)) {
+			c++
+			continue
+		}
+		lo := c
+		for c < 256 && s.Contains(byte(c)) {
+			c++
+		}
+		out = append(out, [2]byte{byte(lo), byte(c - 1)})
+	}
+	return out
+}
+
+// String renders the set in a compact character-class notation, e.g.
+// "[a-z0-9_]", "Σ" for the full alphabet, or "∅" for the empty set.
+func (s CharSet) String() string {
+	if s.IsEmpty() {
+		return "∅"
+	}
+	if s == AnyByte() {
+		return "Σ"
+	}
+	rs := s.ranges()
+	var b strings.Builder
+	b.WriteByte('[')
+	for _, r := range rs {
+		writeClassByte(&b, r[0])
+		switch {
+		case r[0] == r[1]:
+		case r[1] == r[0]+1:
+			writeClassByte(&b, r[1])
+		default:
+			b.WriteByte('-')
+			writeClassByte(&b, r[1])
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func writeClassByte(b *strings.Builder, c byte) {
+	switch {
+	case c == '\n':
+		b.WriteString(`\n`)
+	case c == '\t':
+		b.WriteString(`\t`)
+	case c == '\r':
+		b.WriteString(`\r`)
+	case c == '-' || c == ']' || c == '[' || c == '\\' || c == '^':
+		b.WriteByte('\\')
+		b.WriteByte(c)
+	case c >= 0x20 && c < 0x7f:
+		b.WriteByte(c)
+	default:
+		fmt.Fprintf(b, `\x%02x`, c)
+	}
+}
+
+// Partition refines the alphabet into equivalence classes ("atoms") with
+// respect to the given charsets: two bytes land in the same class iff they
+// are members of exactly the same subsets of sets. The returned slice
+// contains pairwise-disjoint nonempty classes whose union is Σ.
+//
+// Partitioning lets determinization and minimization iterate over a handful
+// of classes rather than all 256 bytes.
+func Partition(sets []CharSet) []CharSet {
+	atoms := []CharSet{AnyByte()}
+	for _, s := range sets {
+		if s.IsEmpty() || s == AnyByte() {
+			continue
+		}
+		next := atoms[:0:0]
+		for _, a := range atoms {
+			in := a.Intersect(s)
+			out := a.Subtract(s)
+			if !in.IsEmpty() {
+				next = append(next, in)
+			}
+			if !out.IsEmpty() {
+				next = append(next, out)
+			}
+		}
+		atoms = next
+	}
+	return atoms
+}

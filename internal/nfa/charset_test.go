@@ -1,0 +1,220 @@
+package nfa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCharSetBasics(t *testing.T) {
+	var s CharSet
+	if !s.IsEmpty() {
+		t.Fatal("zero CharSet should be empty")
+	}
+	s.Add('a')
+	if !s.Contains('a') || s.Contains('b') {
+		t.Fatal("Add/Contains broken")
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+	s.Remove('a')
+	if !s.IsEmpty() {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestCharSetRange(t *testing.T) {
+	s := Range('a', 'z')
+	if s.Count() != 26 {
+		t.Fatalf("Count = %d, want 26", s.Count())
+	}
+	for c := byte('a'); c <= 'z'; c++ {
+		if !s.Contains(c) {
+			t.Fatalf("missing %c", c)
+		}
+	}
+	if s.Contains('A') || s.Contains('{') || s.Contains('`') {
+		t.Fatal("range boundaries leak")
+	}
+	if !Range('z', 'a').IsEmpty() {
+		t.Fatal("inverted range should be empty")
+	}
+}
+
+func TestCharSetRangeCrossesWordBoundaries(t *testing.T) {
+	s := Range(60, 70) // crosses the 63/64 word boundary
+	for c := 60; c <= 70; c++ {
+		if !s.Contains(byte(c)) {
+			t.Fatalf("missing %d", c)
+		}
+	}
+	if s.Count() != 11 {
+		t.Fatalf("Count = %d, want 11", s.Count())
+	}
+	hi := Range(250, 255)
+	if hi.Count() != 6 || !hi.Contains(255) {
+		t.Fatal("high range broken")
+	}
+}
+
+func TestCharSetSetAlgebra(t *testing.T) {
+	a := Range('a', 'm')
+	b := Range('h', 'z')
+	u := a.Union(b)
+	if u.Count() != 26 {
+		t.Fatalf("union count = %d, want 26", u.Count())
+	}
+	i := a.Intersect(b)
+	if i.Count() != 6 { // h..m
+		t.Fatalf("intersect count = %d, want 6", i.Count())
+	}
+	d := a.Subtract(b)
+	if d.Count() != 7 { // a..g
+		t.Fatalf("subtract count = %d, want 7", d.Count())
+	}
+	c := a.Complement()
+	if c.Count() != 256-13 {
+		t.Fatalf("complement count = %d, want %d", c.Count(), 256-13)
+	}
+	if !a.Intersects(b) || a.Intersects(Range('n', 'z').Subtract(b)) {
+		t.Fatal("Intersects broken")
+	}
+}
+
+func TestCharSetAnyByte(t *testing.T) {
+	any := AnyByte()
+	if any.Count() != 256 {
+		t.Fatalf("AnyByte count = %d", any.Count())
+	}
+	if !any.Complement().IsEmpty() {
+		t.Fatal("complement of Σ should be empty")
+	}
+}
+
+func TestCharSetFromString(t *testing.T) {
+	s := FromString("hello")
+	if s.Count() != 4 { // h e l o
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	for _, c := range []byte("helo") {
+		if !s.Contains(c) {
+			t.Fatalf("missing %c", c)
+		}
+	}
+}
+
+func TestCharSetMinBytes(t *testing.T) {
+	s := FromString("zebra")
+	min, ok := s.Min()
+	if !ok || min != 'a' {
+		t.Fatalf("Min = %c/%v, want a/true", min, ok)
+	}
+	bs := s.Bytes()
+	want := "aberz"
+	if string(bs) != want {
+		t.Fatalf("Bytes = %q, want %q", bs, want)
+	}
+	if _, ok := EmptySet().Min(); ok {
+		t.Fatal("Min of empty should report !ok")
+	}
+}
+
+func TestCharSetString(t *testing.T) {
+	cases := []struct {
+		set  CharSet
+		want string
+	}{
+		{EmptySet(), "∅"},
+		{AnyByte(), "Σ"},
+		{Singleton('a'), "[a]"},
+		{Range('a', 'c'), "[a-c]"},
+		{Range('0', '9'), "[0-9]"},
+		{Singleton('\n'), `[\n]`},
+		{Singleton('-'), `[\-]`},
+	}
+	for _, c := range cases {
+		if got := c.set.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.set, got, c.want)
+		}
+	}
+}
+
+func TestPartitionDisjointCover(t *testing.T) {
+	sets := []CharSet{Range('a', 'z'), Range('m', 'p'), Singleton('0'), Range('0', '9')}
+	atoms := Partition(sets)
+	// Atoms must be pairwise disjoint and cover Σ.
+	total := EmptySet()
+	for i, a := range atoms {
+		if a.IsEmpty() {
+			t.Fatal("empty atom")
+		}
+		for j, b := range atoms {
+			if i != j && a.Intersects(b) {
+				t.Fatalf("atoms %d and %d overlap", i, j)
+			}
+		}
+		total = total.Union(a)
+	}
+	if total != AnyByte() {
+		t.Fatal("atoms do not cover Σ")
+	}
+	// Every input set must be a union of atoms.
+	for _, s := range sets {
+		rebuilt := EmptySet()
+		for _, a := range atoms {
+			if a.Intersects(s) {
+				if !a.Subtract(s).IsEmpty() {
+					t.Fatalf("atom %v straddles input set %v", a, s)
+				}
+				rebuilt = rebuilt.Union(a)
+			}
+		}
+		if rebuilt != s {
+			t.Fatalf("set %v not a union of atoms", s)
+		}
+	}
+}
+
+func randCharSet(r *rand.Rand) CharSet {
+	var s CharSet
+	n := r.Intn(5)
+	for i := 0; i < n; i++ {
+		lo := byte(r.Intn(256))
+		hi := lo + byte(r.Intn(40))
+		if hi < lo {
+			hi = 255
+		}
+		s.AddRange(lo, hi)
+	}
+	return s
+}
+
+func TestCharSetAlgebraProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randCharSet(r), randCharSet(r)
+		// De Morgan: ¬(a ∪ b) = ¬a ∩ ¬b.
+		if a.Union(b).Complement() != a.Complement().Intersect(b.Complement()) {
+			return false
+		}
+		// a \ b = a ∩ ¬b.
+		if a.Subtract(b) != a.Intersect(b.Complement()) {
+			return false
+		}
+		// Union/intersection via membership, byte by byte.
+		for c := 0; c < 256; c++ {
+			bc := byte(c)
+			if a.Union(b).Contains(bc) != (a.Contains(bc) || b.Contains(bc)) {
+				return false
+			}
+			if a.Intersect(b).Contains(bc) != (a.Contains(bc) && b.Contains(bc)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

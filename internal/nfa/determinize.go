@@ -1,0 +1,224 @@
+package nfa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DFA is a deterministic, complete automaton over alphabet atoms. Each state
+// has exactly one outgoing transition per atom class, and the atom classes
+// partition Σ, so every byte has exactly one successor. DFAs are produced by
+// Determinize and consumed by Complement, Minimize, and the inclusion/
+// equivalence checks.
+type DFA struct {
+	atoms  []CharSet // pairwise-disjoint classes covering Σ
+	trans  [][]int   // trans[state][atomIndex] = successor state
+	accept []bool
+	start  int
+}
+
+// NumStates returns the number of DFA states (including any dead state).
+func (d *DFA) NumStates() int { return len(d.trans) }
+
+// Start returns the start state.
+func (d *DFA) Start() int { return d.start }
+
+// Accepting reports whether state s is accepting.
+func (d *DFA) Accepting(s int) bool { return d.accept[s] }
+
+// Atoms returns the alphabet partition the DFA is defined over.
+func (d *DFA) Atoms() []CharSet { return d.atoms }
+
+// atomIndexOf returns the index of the atom containing byte c.
+func (d *DFA) atomIndexOf(c byte) int {
+	for i, a := range d.atoms {
+		if a.Contains(c) {
+			return i
+		}
+	}
+	panic("nfa: atoms do not cover Σ")
+}
+
+// Accepts reports whether the DFA accepts w.
+func (d *DFA) Accepts(w string) bool {
+	s := d.start
+	for i := 0; i < len(w); i++ {
+		s = d.trans[s][d.atomIndexOf(w[i])]
+	}
+	return d.accept[s]
+}
+
+// Determinize applies the subset construction to m, producing a complete
+// DFA over the atom partition induced by m's edge labels.
+func Determinize(m *NFA) *DFA {
+	atoms := Partition(m.allLabels())
+	// Represent subsets canonically as sorted state-id strings.
+	key := func(set []bool) string {
+		var b strings.Builder
+		for s, in := range set {
+			if in {
+				fmt.Fprintf(&b, "%d,", s)
+			}
+		}
+		return b.String()
+	}
+	start := m.startClosure()
+	idx := map[string]int{}
+	var sets [][]bool
+	var trans [][]int
+	var accept []bool
+	add := func(set []bool) int {
+		k := key(set)
+		if id, ok := idx[k]; ok {
+			return id
+		}
+		id := len(sets)
+		idx[k] = id
+		sets = append(sets, set)
+		trans = append(trans, make([]int, len(atoms)))
+		accept = append(accept, set[m.final])
+		return id
+	}
+	add(start)
+	for qi := 0; qi < len(sets); qi++ {
+		cur := sets[qi]
+		for ai, atom := range atoms {
+			// All bytes within an atom behave identically, so step on the
+			// atom's minimum representative.
+			rep, ok := atom.Min()
+			if !ok {
+				continue
+			}
+			next := m.step(cur, rep)
+			trans[qi][ai] = add(next)
+		}
+	}
+	return &DFA{atoms: atoms, trans: trans, accept: accept, start: 0}
+}
+
+// Complement returns a DFA recognizing Σ* \ L(d).
+func (d *DFA) Complement() *DFA {
+	accept := make([]bool, len(d.accept))
+	for i, a := range d.accept {
+		accept[i] = !a
+	}
+	return &DFA{atoms: d.atoms, trans: d.trans, accept: accept, start: d.start}
+}
+
+// IsEmpty reports whether L(d) = ∅.
+func (d *DFA) IsEmpty() bool {
+	seen := make([]bool, d.NumStates())
+	seen[d.start] = true
+	stack := []int{d.start}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.accept[s] {
+			return false
+		}
+		for _, t := range d.trans[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return true
+}
+
+// Minimize returns the canonical minimal DFA for L(d), computed by Moore's
+// partition-refinement algorithm over the DFA's atom classes.
+func (d *DFA) Minimize() *DFA {
+	n := d.NumStates()
+	// Initial partition: accepting vs non-accepting.
+	class := make([]int, n)
+	numClasses := 1
+	anyAccept := false
+	for _, a := range d.accept {
+		if a {
+			anyAccept = true
+		}
+	}
+	if anyAccept {
+		numClasses = 2
+		for s := 0; s < n; s++ {
+			if d.accept[s] {
+				class[s] = 1
+			}
+		}
+	}
+	for {
+		// Signature of a state: (class, successor classes per atom).
+		sig := make([]string, n)
+		for s := 0; s < n; s++ {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d:", class[s])
+			for _, t := range d.trans[s] {
+				fmt.Fprintf(&b, "%d,", class[t])
+			}
+			sig[s] = b.String()
+		}
+		next := map[string]int{}
+		newClass := make([]int, n)
+		for s := 0; s < n; s++ {
+			id, ok := next[sig[s]]
+			if !ok {
+				id = len(next)
+				next[sig[s]] = id
+			}
+			newClass[s] = id
+		}
+		if len(next) == numClasses {
+			break
+		}
+		numClasses = len(next)
+		class = newClass
+	}
+	trans := make([][]int, numClasses)
+	accept := make([]bool, numClasses)
+	done := make([]bool, numClasses)
+	for s := 0; s < n; s++ {
+		c := class[s]
+		if done[c] {
+			continue
+		}
+		done[c] = true
+		row := make([]int, len(d.atoms))
+		for ai, t := range d.trans[s] {
+			row[ai] = class[t]
+		}
+		trans[c] = row
+		accept[c] = d.accept[s]
+	}
+	return &DFA{atoms: d.atoms, trans: trans, accept: accept, start: class[d.start]}
+}
+
+// ToNFA converts d back to a (single-start, single-final) NFA, introducing a
+// fresh final state joined by ε-edges from each accepting state.
+func (d *DFA) ToNFA() *NFA {
+	bl := NewBuilder()
+	bl.AddStates(d.NumStates())
+	f := bl.AddState()
+	for s := 0; s < d.NumStates(); s++ {
+		for ai, t := range d.trans[s] {
+			bl.AddEdge(s, d.atoms[ai], t)
+		}
+		if d.accept[s] {
+			bl.AddEps(s, f)
+		}
+	}
+	return bl.Build(d.start, f).Trim()
+}
+
+// Complement returns an NFA for Σ* \ L(m).
+func Complement(m *NFA) *NFA {
+	return Determinize(m).Complement().ToNFA()
+}
+
+// Minimized returns an equivalent NFA with the minimal deterministic state
+// count. The paper notes (§4) that applying minimization to intermediate
+// machines can improve the pathological cases; the solver exposes this as an
+// option.
+func Minimized(m *NFA) *NFA {
+	return Determinize(m).Minimize().ToNFA()
+}

@@ -1,0 +1,63 @@
+package nfa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the machine in Graphviz DOT format, useful for reproducing the
+// intermediate-automata figures in the paper (Fig. 4 and Fig. 10). Seam
+// ε-edges are drawn dashed and labelled with their tag, matching the paper's
+// dashed-ε convention.
+func (m *NFA) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	fmt.Fprintf(&b, "  _start [shape=point];\n  _start -> s%d;\n", m.start)
+	fmt.Fprintf(&b, "  s%d [shape=doublecircle];\n", m.final)
+	for s := 0; s < m.NumStates(); s++ {
+		for _, e := range m.edges[s] {
+			fmt.Fprintf(&b, "  s%d -> s%d [label=%q];\n", s, e.To, e.Label.String())
+		}
+		for _, e := range m.eps[s] {
+			if e.Tag == NoTag {
+				fmt.Fprintf(&b, "  s%d -> s%d [label=\"ε\"];\n", s, e.To)
+			} else {
+				fmt.Fprintf(&b, "  s%d -> s%d [label=\"ε/%d\", style=dashed];\n", s, e.To, e.Tag)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Stats summarizes machine size for the experiment harness.
+type Stats struct {
+	States    int
+	CharEdges int
+	EpsEdges  int
+	SeamEdges int
+}
+
+// Stats returns the machine's size statistics.
+func (m *NFA) Stats() Stats {
+	st := Stats{States: m.NumStates()}
+	for s := 0; s < m.NumStates(); s++ {
+		st.CharEdges += len(m.edges[s])
+		for _, e := range m.eps[s] {
+			if e.Tag == NoTag {
+				st.EpsEdges++
+			} else {
+				st.SeamEdges++
+			}
+		}
+	}
+	return st
+}
+
+// String renders a compact human-readable description of the machine.
+func (m *NFA) String() string {
+	st := m.Stats()
+	return fmt.Sprintf("NFA{states: %d, edges: %d, ε: %d, seams: %d, start: %d, final: %d}",
+		st.States, st.CharEdges, st.EpsEdges, st.SeamEdges, m.start, m.final)
+}

@@ -1,0 +1,72 @@
+package nfa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Subset reports whether L(a) ⊆ L(b), decided as L(a) ∩ (Σ* \ L(b)) = ∅.
+func Subset(a, b *NFA) bool {
+	return Intersect(a, Complement(b)).IsEmpty()
+}
+
+// Equivalent reports whether L(a) = L(b).
+func Equivalent(a, b *NFA) bool {
+	return Subset(a, b) && Subset(b, a)
+}
+
+// ProperSubset reports whether L(a) ⊊ L(b).
+func ProperSubset(a, b *NFA) bool {
+	return Subset(a, b) && !Subset(b, a)
+}
+
+// Fingerprint returns a canonical string identifying L(m): two machines have
+// equal fingerprints iff their languages are equal. The minimal DFA is
+// unique up to state renaming; renaming is fixed by BFS over bytes in
+// ascending order, and transitions are serialized as per-state successor
+// runs so the result is independent of how edge labels were partitioned.
+// The solver uses fingerprints to deduplicate disjunctive assignments.
+func Fingerprint(m *NFA) string {
+	d := Determinize(m).Minimize()
+	// succ[s][c] = successor of s on byte c.
+	succ := make([][256]int, d.NumStates())
+	for s := 0; s < d.NumStates(); s++ {
+		for ai, atom := range d.atoms {
+			for _, c := range atom.Bytes() {
+				succ[s][c] = d.trans[s][ai]
+			}
+		}
+	}
+	order := []int{d.start}
+	pos := map[int]int{d.start: 0}
+	for qi := 0; qi < len(order); qi++ {
+		s := order[qi]
+		for c := 0; c < 256; c++ {
+			t := succ[s][c]
+			if _, ok := pos[t]; !ok {
+				pos[t] = len(order)
+				order = append(order, t)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, s := range order {
+		if d.accept[s] {
+			b.WriteByte('A')
+		} else {
+			b.WriteByte('.')
+		}
+		// Serialize successor runs: byte ranges with a common target.
+		c := 0
+		for c < 256 {
+			t := succ[s][c]
+			lo := c
+			for c < 256 && succ[s][c] == t {
+				c++
+			}
+			fmt.Fprintf(&b, "%d-%d>%d;", lo, c-1, pos[t])
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}

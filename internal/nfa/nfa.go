@@ -1,0 +1,253 @@
+package nfa
+
+import "fmt"
+
+// NoTag marks an ordinary (unlabelled) ε-transition.
+const NoTag = -1
+
+// Edge is a character transition labelled with a set of bytes.
+type Edge struct {
+	Label CharSet
+	To    int
+}
+
+// EpsEdge is an ε-transition. A nonnegative Tag identifies the edge as a
+// concatenation seam introduced by ConcatTagged; the cross-product
+// construction preserves tags, which is how the DPRLE CI algorithm recovers
+// the Qlhs × Qrhs slicing points after intersection (paper Fig. 3).
+type EpsEdge struct {
+	To  int
+	Tag int
+}
+
+// NFA is a nondeterministic finite automaton over the byte alphabet with a
+// single start state and a single final state, as assumed by the paper
+// (§3.2: "we assume that each NFA Mi has a single start state si and a
+// single final state fi"). NFAs are immutable once built; all operations
+// return fresh machines.
+type NFA struct {
+	edges [][]Edge    // edges[s] = character transitions out of s
+	eps   [][]EpsEdge // eps[s] = ε-transitions out of s
+	start int
+	final int
+}
+
+// NumStates returns the number of states in the machine.
+func (m *NFA) NumStates() int { return len(m.edges) }
+
+// Start returns the start state.
+func (m *NFA) Start() int { return m.start }
+
+// Final returns the (single) final state.
+func (m *NFA) Final() int { return m.final }
+
+// EdgesFrom returns the character transitions leaving state s. The returned
+// slice must not be modified.
+func (m *NFA) EdgesFrom(s int) []Edge { return m.edges[s] }
+
+// EpsFrom returns the ε-transitions leaving state s. The returned slice must
+// not be modified.
+func (m *NFA) EpsFrom(s int) []EpsEdge { return m.eps[s] }
+
+// Builder incrementally constructs an NFA.
+type Builder struct {
+	edges [][]Edge
+	eps   [][]EpsEdge
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddState adds a fresh state and returns its id.
+func (b *Builder) AddState() int {
+	b.edges = append(b.edges, nil)
+	b.eps = append(b.eps, nil)
+	return len(b.edges) - 1
+}
+
+// AddStates adds n fresh states and returns the id of the first.
+func (b *Builder) AddStates(n int) int {
+	first := len(b.edges)
+	for i := 0; i < n; i++ {
+		b.AddState()
+	}
+	return first
+}
+
+// AddEdge adds a character transition from → to labelled with the given set.
+// Empty labels are ignored.
+func (b *Builder) AddEdge(from int, label CharSet, to int) {
+	if label.IsEmpty() {
+		return
+	}
+	b.edges[from] = append(b.edges[from], Edge{Label: label, To: to})
+}
+
+// AddEps adds an ordinary ε-transition from → to.
+func (b *Builder) AddEps(from, to int) {
+	b.eps[from] = append(b.eps[from], EpsEdge{To: to, Tag: NoTag})
+}
+
+// AddTaggedEps adds a seam ε-transition carrying the given nonnegative tag.
+func (b *Builder) AddTaggedEps(from, to, tag int) {
+	if tag < 0 {
+		panic(fmt.Sprintf("nfa: AddTaggedEps with negative tag %d", tag))
+	}
+	b.eps[from] = append(b.eps[from], EpsEdge{To: to, Tag: tag})
+}
+
+// NumStates returns the number of states added so far.
+func (b *Builder) NumStates() int { return len(b.edges) }
+
+// Build finalizes the machine with the given start and final states.
+func (b *Builder) Build(start, final int) *NFA {
+	if start < 0 || start >= len(b.edges) || final < 0 || final >= len(b.edges) {
+		panic("nfa: Build with out-of-range start or final state")
+	}
+	m := &NFA{edges: b.edges, eps: b.eps, start: start, final: final}
+	b.edges = nil
+	b.eps = nil
+	return m
+}
+
+// Empty returns a machine recognizing the empty language ∅.
+func Empty() *NFA {
+	b := NewBuilder()
+	s := b.AddState()
+	f := b.AddState()
+	return b.Build(s, f)
+}
+
+// Epsilon returns a machine recognizing {ε}.
+func Epsilon() *NFA {
+	b := NewBuilder()
+	s := b.AddState()
+	f := b.AddState()
+	b.AddEps(s, f)
+	return b.Build(s, f)
+}
+
+// Literal returns a machine recognizing exactly {str}.
+func Literal(str string) *NFA {
+	b := NewBuilder()
+	s := b.AddState()
+	cur := s
+	for i := 0; i < len(str); i++ {
+		next := b.AddState()
+		b.AddEdge(cur, Singleton(str[i]), next)
+		cur = next
+	}
+	if cur == s {
+		// Empty literal: distinct final reached by ε keeps start ≠ final,
+		// which simplifies downstream constructions.
+		f := b.AddState()
+		b.AddEps(s, f)
+		return b.Build(s, f)
+	}
+	return b.Build(s, cur)
+}
+
+// Class returns a machine recognizing the single-byte strings drawn from set.
+func Class(set CharSet) *NFA {
+	b := NewBuilder()
+	s := b.AddState()
+	f := b.AddState()
+	b.AddEdge(s, set, f)
+	return b.Build(s, f)
+}
+
+// AnyString returns a machine recognizing Σ*, the initial assignment the
+// solver gives every unconstrained variable.
+func AnyString() *NFA {
+	b := NewBuilder()
+	s := b.AddState()
+	f := b.AddState()
+	b.AddEdge(s, AnyByte(), s)
+	b.AddEps(s, f)
+	return b.Build(s, f)
+}
+
+// Copy returns a deep copy of m.
+func (m *NFA) Copy() *NFA {
+	edges := make([][]Edge, len(m.edges))
+	eps := make([][]EpsEdge, len(m.eps))
+	for s := range m.edges {
+		edges[s] = append([]Edge(nil), m.edges[s]...)
+		eps[s] = append([]EpsEdge(nil), m.eps[s]...)
+	}
+	return &NFA{edges: edges, eps: eps, start: m.start, final: m.final}
+}
+
+// WithStart returns a copy of m whose start state is s
+// (the paper's induce_from_start).
+func (m *NFA) WithStart(s int) *NFA {
+	c := m.Copy()
+	c.start = s
+	return c
+}
+
+// WithFinal returns a copy of m whose final state is f
+// (the paper's induce_from_final).
+func (m *NFA) WithFinal(f int) *NFA {
+	c := m.Copy()
+	c.final = f
+	return c
+}
+
+// TaggedEdge locates a seam ε-edge inside a machine.
+type TaggedEdge struct {
+	From int
+	To   int
+	Tag  int
+}
+
+// TaggedEdges returns every seam ε-edge in the machine, in state order.
+func (m *NFA) TaggedEdges() []TaggedEdge {
+	var out []TaggedEdge
+	for s := range m.eps {
+		for _, e := range m.eps[s] {
+			if e.Tag != NoTag {
+				out = append(out, TaggedEdge{From: s, To: e.To, Tag: e.Tag})
+			}
+		}
+	}
+	return out
+}
+
+// Tags returns the distinct seam tags present in the machine, in ascending
+// order.
+func (m *NFA) Tags() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range m.TaggedEdges() {
+		if !seen[e.Tag] {
+			seen[e.Tag] = true
+			out = append(out, e.Tag)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// allLabels returns every distinct charset used as an edge label in m.
+func (m *NFA) allLabels() []CharSet {
+	seen := map[CharSet]bool{}
+	var out []CharSet
+	for s := range m.edges {
+		for _, e := range m.edges[s] {
+			if !seen[e.Label] {
+				seen[e.Label] = true
+				out = append(out, e.Label)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,442 @@
+package nfa
+
+// This file implements the structural NFA operations the DPRLE algorithm is
+// built from: concatenation (with and without seam tags), union, star,
+// reverse, ε-closure, trimming, and the induce operations used to slice
+// solution machines out of a product machine.
+
+// append-copies the states of src into b, returning the state-id offset.
+func appendMachine(b *Builder, src *NFA) int {
+	off := b.AddStates(src.NumStates())
+	for s := 0; s < src.NumStates(); s++ {
+		for _, e := range src.edges[s] {
+			b.AddEdge(off+s, e.Label, off+e.To)
+		}
+		for _, e := range src.eps[s] {
+			if e.Tag == NoTag {
+				b.AddEps(off+s, off+e.To)
+			} else {
+				b.AddTaggedEps(off+s, off+e.To, e.Tag)
+			}
+		}
+	}
+	return off
+}
+
+// Concat returns a machine for L(a)·L(b), joining a's final state to b's
+// start state with a single ordinary ε-transition (paper Fig. 3, line 6).
+func Concat(a, b *NFA) *NFA {
+	return concat(a, b, NoTag)
+}
+
+// ConcatTagged returns a machine for L(a)·L(b) whose joining ε-transition
+// carries the given seam tag. Intersections preserve the tag, so the
+// surviving copies of this edge are exactly the CI algorithm's candidate
+// slicing points.
+func ConcatTagged(a, b *NFA, tag int) *NFA {
+	if tag < 0 {
+		panic("nfa: ConcatTagged with negative tag")
+	}
+	return concat(a, b, tag)
+}
+
+func concat(a, b *NFA, tag int) *NFA {
+	bl := NewBuilder()
+	offA := appendMachine(bl, a)
+	offB := appendMachine(bl, b)
+	if tag == NoTag {
+		bl.AddEps(offA+a.final, offB+b.start)
+	} else {
+		bl.AddTaggedEps(offA+a.final, offB+b.start, tag)
+	}
+	return bl.Build(offA+a.start, offB+b.final)
+}
+
+// Union returns a machine for L(a) ∪ L(b).
+func Union(a, b *NFA) *NFA {
+	bl := NewBuilder()
+	s := bl.AddState()
+	f := bl.AddState()
+	offA := appendMachine(bl, a)
+	offB := appendMachine(bl, b)
+	bl.AddEps(s, offA+a.start)
+	bl.AddEps(s, offB+b.start)
+	bl.AddEps(offA+a.final, f)
+	bl.AddEps(offB+b.final, f)
+	return bl.Build(s, f)
+}
+
+// UnionAll returns a machine for the union of all given languages.
+// UnionAll() is the empty language.
+func UnionAll(ms ...*NFA) *NFA {
+	if len(ms) == 0 {
+		return Empty()
+	}
+	out := ms[0]
+	for _, m := range ms[1:] {
+		out = Union(out, m)
+	}
+	return out
+}
+
+// Star returns a machine for L(a)*. The paper's constraint grammar does not
+// allow Kleene star on variables, but constants are arbitrary regular
+// languages, so the regex compiler needs it.
+func Star(a *NFA) *NFA {
+	bl := NewBuilder()
+	s := bl.AddState()
+	f := bl.AddState()
+	off := appendMachine(bl, a)
+	bl.AddEps(s, off+a.start)
+	bl.AddEps(s, f)
+	bl.AddEps(off+a.final, f)
+	bl.AddEps(off+a.final, off+a.start)
+	return bl.Build(s, f)
+}
+
+// Plus returns a machine for L(a)+ = L(a)·L(a)*.
+func Plus(a *NFA) *NFA {
+	bl := NewBuilder()
+	s := bl.AddState()
+	f := bl.AddState()
+	off := appendMachine(bl, a)
+	bl.AddEps(s, off+a.start)
+	bl.AddEps(off+a.final, f)
+	bl.AddEps(off+a.final, off+a.start)
+	return bl.Build(s, f)
+}
+
+// Optional returns a machine for L(a) ∪ {ε}.
+func Optional(a *NFA) *NFA {
+	bl := NewBuilder()
+	s := bl.AddState()
+	f := bl.AddState()
+	off := appendMachine(bl, a)
+	bl.AddEps(s, off+a.start)
+	bl.AddEps(s, f)
+	bl.AddEps(off+a.final, f)
+	return bl.Build(s, f)
+}
+
+// Reverse returns a machine for the reversal of L(m).
+func Reverse(m *NFA) *NFA {
+	bl := NewBuilder()
+	bl.AddStates(m.NumStates())
+	for s := 0; s < m.NumStates(); s++ {
+		for _, e := range m.edges[s] {
+			bl.AddEdge(e.To, e.Label, s)
+		}
+		for _, e := range m.eps[s] {
+			if e.Tag == NoTag {
+				bl.AddEps(e.To, s)
+			} else {
+				bl.AddTaggedEps(e.To, s, e.Tag)
+			}
+		}
+	}
+	return bl.Build(m.final, m.start)
+}
+
+// closure expands the state set `set` (a boolean vector) with everything
+// reachable via ε-transitions, tagged or not.
+func (m *NFA) closure(set []bool) {
+	stack := make([]int, 0, len(set))
+	for s, in := range set {
+		if in {
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range m.eps[s] {
+			if !set[e.To] {
+				set[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+}
+
+// startClosure returns the ε-closure of the start state as a boolean vector.
+func (m *NFA) startClosure() []bool {
+	set := make([]bool, m.NumStates())
+	set[m.start] = true
+	m.closure(set)
+	return set
+}
+
+// step advances a closed state set over input byte c and re-closes it.
+func (m *NFA) step(set []bool, c byte) []bool {
+	next := make([]bool, m.NumStates())
+	for s, in := range set {
+		if !in {
+			continue
+		}
+		for _, e := range m.edges[s] {
+			if e.Label.Contains(c) {
+				next[e.To] = true
+			}
+		}
+	}
+	m.closure(next)
+	return next
+}
+
+// Accepts reports whether m accepts the string w.
+func (m *NFA) Accepts(w string) bool {
+	set := m.startClosure()
+	for i := 0; i < len(w); i++ {
+		set = m.step(set, w[i])
+		if !anyTrue(set) {
+			return false
+		}
+	}
+	return set[m.final]
+}
+
+func anyTrue(set []bool) bool {
+	for _, b := range set {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// reachable returns the set of states reachable from the start state via any
+// transition (character or ε).
+func (m *NFA) reachable() []bool {
+	seen := make([]bool, m.NumStates())
+	seen[m.start] = true
+	stack := []int{m.start}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range m.edges[s] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+		for _, e := range m.eps[s] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// coreachable returns the set of states from which the final state is
+// reachable.
+func (m *NFA) coreachable() []bool {
+	// Build reverse adjacency once.
+	radj := make([][]int, m.NumStates())
+	for s := 0; s < m.NumStates(); s++ {
+		for _, e := range m.edges[s] {
+			radj[e.To] = append(radj[e.To], s)
+		}
+		for _, e := range m.eps[s] {
+			radj[e.To] = append(radj[e.To], s)
+		}
+	}
+	seen := make([]bool, m.NumStates())
+	seen[m.final] = true
+	stack := []int{m.final}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range radj[s] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// IsEmpty reports whether L(m) = ∅.
+func (m *NFA) IsEmpty() bool {
+	return !m.reachable()[m.final]
+}
+
+// Trim returns an equivalent machine containing only states that lie on some
+// path from the start state to the final state. If the language is empty the
+// canonical two-state empty machine is returned. Seam tags are preserved on
+// surviving edges.
+func (m *NFA) Trim() *NFA {
+	reach := m.reachable()
+	coreach := m.coreachable()
+	keep := make([]int, m.NumStates())
+	bl := NewBuilder()
+	for s := 0; s < m.NumStates(); s++ {
+		if reach[s] && coreach[s] {
+			keep[s] = bl.AddState()
+		} else {
+			keep[s] = -1
+		}
+	}
+	if keep[m.start] < 0 || keep[m.final] < 0 {
+		return Empty()
+	}
+	for s := 0; s < m.NumStates(); s++ {
+		if keep[s] < 0 {
+			continue
+		}
+		for _, e := range m.edges[s] {
+			if keep[e.To] >= 0 {
+				bl.AddEdge(keep[s], e.Label, keep[e.To])
+			}
+		}
+		for _, e := range m.eps[s] {
+			if keep[e.To] < 0 {
+				continue
+			}
+			if e.Tag == NoTag {
+				bl.AddEps(keep[s], keep[e.To])
+			} else {
+				bl.AddTaggedEps(keep[s], keep[e.To], e.Tag)
+			}
+		}
+	}
+	return bl.Build(keep[m.start], keep[m.final])
+}
+
+// DropSeams returns a copy of m with every tagged ε-edge removed. A string
+// belonging to a single concatenation operand never crosses a seam, so
+// induced operand machines are built seam-free.
+func (m *NFA) DropSeams() *NFA {
+	bl := NewBuilder()
+	bl.AddStates(m.NumStates())
+	for s := 0; s < m.NumStates(); s++ {
+		for _, e := range m.edges[s] {
+			bl.AddEdge(s, e.Label, e.To)
+		}
+		for _, e := range m.eps[s] {
+			if e.Tag == NoTag {
+				bl.AddEps(s, e.To)
+			}
+		}
+	}
+	return bl.Build(m.start, m.final)
+}
+
+// Induce returns the seam-free sub-machine of m spanning the given start and
+// final states, trimmed. This generalizes the paper's induce_from_final
+// (final := seam source) and induce_from_start (start := seam target) to
+// arbitrary spans, which is what gci needs for variables in the middle of a
+// concatenation chain.
+func (m *NFA) Induce(start, final int) *NFA {
+	c := m.DropSeams()
+	c.start = start
+	c.final = final
+	return c.Trim()
+}
+
+// ShortestWitness returns a shortest string in L(m). It reports ok=false when
+// the language is empty. Ties are broken toward the smallest byte value, so
+// witnesses are deterministic.
+func (m *NFA) ShortestWitness() (string, bool) {
+	type node struct {
+		state int
+		prev  int // index into nodes, -1 for roots
+		by    byte
+		str   bool // whether `by` is a real byte (false for ε/root)
+	}
+	visited := make([]bool, m.NumStates())
+	var nodes []node
+	var queue []int
+	push := func(s, prev int, by byte, isByte bool) {
+		if visited[s] {
+			return
+		}
+		visited[s] = true
+		nodes = append(nodes, node{state: s, prev: prev, by: by, str: isByte})
+		queue = append(queue, len(nodes)-1)
+	}
+	push(m.start, -1, 0, false)
+	for qi := 0; qi < len(queue); qi++ {
+		idx := queue[qi]
+		s := nodes[idx].state
+		if s == m.final {
+			// Reconstruct.
+			var rev []byte
+			for i := idx; i >= 0; i = nodes[i].prev {
+				if nodes[i].str {
+					rev = append(rev, nodes[i].by)
+				}
+			}
+			for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+				rev[l], rev[r] = rev[r], rev[l]
+			}
+			return string(rev), true
+		}
+		// ε-edges first: they do not lengthen the witness, and BFS layers
+		// remain correct because ε keeps us in the same layer.
+		for _, e := range m.eps[s] {
+			push(e.To, idx, 0, false)
+		}
+		for _, e := range m.edges[s] {
+			if b, ok := e.Label.Min(); ok {
+				push(e.To, idx, b, true)
+			}
+		}
+	}
+	return "", false
+}
+
+// Enumerate returns accepted strings of length ≤ maxLen, up to maxCount of
+// them, in length-then-lexicographic order. It is intended for tests and
+// small languages; the traversal explores the deterministic subset
+// construction on the fly.
+func (m *NFA) Enumerate(maxLen, maxCount int) []string {
+	var out []string
+	type item struct {
+		set []bool
+		str string
+	}
+	start := m.startClosure()
+	queue := []item{{set: start, str: ""}}
+	for len(queue) > 0 && len(out) < maxCount {
+		it := queue[0]
+		queue = queue[1:]
+		if it.set[m.final] {
+			out = append(out, it.str)
+			if len(out) >= maxCount {
+				break
+			}
+		}
+		if len(it.str) >= maxLen {
+			continue
+		}
+		// Group outgoing labels into atoms so we only branch on
+		// distinguishable bytes, then take each atom's minimum byte last—
+		// no: enumerate every byte to stay exact.
+		var labels []CharSet
+		for s, in := range it.set {
+			if !in {
+				continue
+			}
+			for _, e := range m.edges[s] {
+				labels = append(labels, e.Label)
+			}
+		}
+		if len(labels) == 0 {
+			continue
+		}
+		avail := EmptySet()
+		for _, l := range labels {
+			avail = avail.Union(l)
+		}
+		for _, b := range avail.Bytes() {
+			next := m.step(it.set, b)
+			if anyTrue(next) {
+				queue = append(queue, item{set: next, str: it.str + string([]byte{b})})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package nfa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Serialization: a line-oriented text format for machines, so solved
+// languages can be cached on disk or shipped between tools. The format is
+// versioned and self-delimiting:
+//
+//	dprle-nfa 1
+//	states <n> start <s> final <f>
+//	edge <from> <to> <ranges>        # ranges: lo-hi[,lo-hi…] in decimal
+//	eps <from> <to> [tag]
+//	end
+//
+// Seam tags survive a round trip, so even intermediate solver machines can
+// be persisted.
+
+const serializeHeader = "dprle-nfa 1"
+
+// WriteTo serializes the machine in the dprle-nfa text format.
+func (m *NFA) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", serializeHeader)
+	fmt.Fprintf(&b, "states %d start %d final %d\n", m.NumStates(), m.start, m.final)
+	for s := 0; s < m.NumStates(); s++ {
+		for _, e := range m.edges[s] {
+			fmt.Fprintf(&b, "edge %d %d %s\n", s, e.To, rangesText(e.Label))
+		}
+		for _, e := range m.eps[s] {
+			if e.Tag == NoTag {
+				fmt.Fprintf(&b, "eps %d %d\n", s, e.To)
+			} else {
+				fmt.Fprintf(&b, "eps %d %d %d\n", s, e.To, e.Tag)
+			}
+		}
+	}
+	b.WriteString("end\n")
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Marshal returns the machine serialized as a string.
+func (m *NFA) Marshal() string {
+	var b strings.Builder
+	if _, err := m.WriteTo(&b); err != nil {
+		panic("nfa: Marshal to strings.Builder cannot fail: " + err.Error())
+	}
+	return b.String()
+}
+
+func rangesText(set CharSet) string {
+	var b strings.Builder
+	for i, r := range set.ranges() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d-%d", r[0], r[1])
+	}
+	return b.String()
+}
+
+// ReadFrom deserializes a machine written by WriteTo.
+func ReadFrom(r io.Reader) (*NFA, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := func() (string, bool) {
+		for sc.Scan() {
+			t := strings.TrimSpace(sc.Text())
+			if t != "" && !strings.HasPrefix(t, "#") {
+				return t, true
+			}
+		}
+		return "", false
+	}
+	hdr, ok := line()
+	if !ok || hdr != serializeHeader {
+		return nil, fmt.Errorf("nfa: bad header %q", hdr)
+	}
+	decl, ok := line()
+	if !ok {
+		return nil, fmt.Errorf("nfa: missing states declaration")
+	}
+	var n, start, final int
+	if _, err := fmt.Sscanf(decl, "states %d start %d final %d", &n, &start, &final); err != nil {
+		return nil, fmt.Errorf("nfa: bad states declaration %q: %w", decl, err)
+	}
+	if n <= 0 || start < 0 || start >= n || final < 0 || final >= n {
+		return nil, fmt.Errorf("nfa: out-of-range states declaration %q", decl)
+	}
+	b := NewBuilder()
+	b.AddStates(n)
+	for {
+		l, ok := line()
+		if !ok {
+			return nil, fmt.Errorf("nfa: missing end marker")
+		}
+		fields := strings.Fields(l)
+		switch fields[0] {
+		case "end":
+			return b.Build(start, final), nil
+		case "edge":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("nfa: bad edge line %q", l)
+			}
+			var from, to int
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &from, &to); err != nil {
+				return nil, fmt.Errorf("nfa: bad edge line %q: %w", l, err)
+			}
+			set, err := parseRanges(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("nfa: bad edge line %q: %w", l, err)
+			}
+			if from < 0 || from >= n || to < 0 || to >= n {
+				return nil, fmt.Errorf("nfa: edge state out of range in %q", l)
+			}
+			b.AddEdge(from, set, to)
+		case "eps":
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("nfa: bad eps line %q", l)
+			}
+			var from, to int
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &from, &to); err != nil {
+				return nil, fmt.Errorf("nfa: bad eps line %q: %w", l, err)
+			}
+			if from < 0 || from >= n || to < 0 || to >= n {
+				return nil, fmt.Errorf("nfa: eps state out of range in %q", l)
+			}
+			if len(fields) == 4 {
+				var tag int
+				if _, err := fmt.Sscanf(fields[3], "%d", &tag); err != nil || tag < 0 {
+					return nil, fmt.Errorf("nfa: bad eps tag in %q", l)
+				}
+				b.AddTaggedEps(from, to, tag)
+			} else {
+				b.AddEps(from, to)
+			}
+		default:
+			return nil, fmt.Errorf("nfa: unknown directive %q", fields[0])
+		}
+	}
+}
+
+// Unmarshal parses a machine serialized by Marshal.
+func Unmarshal(s string) (*NFA, error) {
+	return ReadFrom(strings.NewReader(s))
+}
+
+func parseRanges(text string) (CharSet, error) {
+	var set CharSet
+	for _, part := range strings.Split(text, ",") {
+		var lo, hi int
+		if _, err := fmt.Sscanf(part, "%d-%d", &lo, &hi); err != nil {
+			return set, fmt.Errorf("bad range %q: %w", part, err)
+		}
+		if lo < 0 || hi > 255 || lo > hi {
+			return set, fmt.Errorf("range %q out of bounds", part)
+		}
+		set.AddRange(byte(lo), byte(hi))
+	}
+	return set, nil
+}

@@ -1,0 +1,114 @@
+package nfa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	machines := []*NFA{
+		Empty(),
+		Epsilon(),
+		Literal("hello"),
+		Union(Star(Literal("ab")), Plus(Class(Range('0', '9')))),
+		ConcatTagged(Literal("a"), Literal("b"), 7),
+		AnyString(),
+	}
+	for i, m := range machines {
+		back, err := Unmarshal(m.Marshal())
+		if err != nil {
+			t.Fatalf("machine %d: %v", i, err)
+		}
+		if !Equivalent(m, back) {
+			t.Fatalf("machine %d: language changed in round trip", i)
+		}
+		if back.NumStates() != m.NumStates() || back.Start() != m.Start() || back.Final() != m.Final() {
+			t.Fatalf("machine %d: structure changed", i)
+		}
+	}
+}
+
+func TestMarshalPreservesSeamTags(t *testing.T) {
+	m := ConcatTagged(ConcatTagged(Literal("a"), Literal("b"), 3), Literal("c"), 9)
+	back, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := back.Tags()
+	if len(tags) != 2 || tags[0] != 3 || tags[1] != 9 {
+		t.Fatalf("tags = %v", tags)
+	}
+}
+
+func TestMarshalFormatShape(t *testing.T) {
+	m := Literal("a")
+	text := m.Marshal()
+	for _, want := range []string{"dprle-nfa 1\n", "states 2 start 0 final 1", "edge 0 1 97-97", "end\n"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"wrong-header\nstates 1 start 0 final 0\nend\n",
+		"dprle-nfa 1\n", // missing decl
+		"dprle-nfa 1\nstates 0 start 0 final 0\nend\n",        // zero states
+		"dprle-nfa 1\nstates 2 start 0 final 5\nend\n",        // final OOR
+		"dprle-nfa 1\nstates 2 start 0 final 1\n",             // missing end
+		"dprle-nfa 1\nstates 2 start 0 final 1\nbogus\nend\n", // directive
+		"dprle-nfa 1\nstates 2 start 0 final 1\nedge 0 9 97-97\nend\n",
+		"dprle-nfa 1\nstates 2 start 0 final 1\nedge 0 1 97\nend\n",
+		"dprle-nfa 1\nstates 2 start 0 final 1\nedge 0 1 300-400\nend\n",
+		"dprle-nfa 1\nstates 2 start 0 final 1\neps 0 1 -4\nend\n",
+		"dprle-nfa 1\nstates 2 start 0 final 1\neps 0 7\nend\n",
+	}
+	for _, src := range bad {
+		if _, err := Unmarshal(src); err == nil {
+			t.Errorf("Unmarshal(%q) should fail", src)
+		}
+	}
+}
+
+func TestUnmarshalSkipsCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+dprle-nfa 1
+
+states 2 start 0 final 1
+# another
+edge 0 1 97-98,100-100
+
+end
+`
+	m, err := Unmarshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAccept(t, m, "a", "b", "d")
+	mustReject(t, m, "c", "")
+}
+
+func TestPropMarshalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	f := func() bool {
+		m := randMachine(r, 2)
+		back, err := Unmarshal(m.Marshal())
+		if err != nil {
+			return false
+		}
+		for _, w := range sampleStrings(r, 10) {
+			if m.Accepts(w) != back.Accepts(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+// Package policy defines the attack languages used as right-hand-side
+// constants of the vulnerability constraint at a sink. The paper's
+// experiments use "contains at least one single quote" as the unsafe-query
+// approximation for SQL injection (§3.2, citing Wassermann & Su); this
+// package provides that language plus stricter variants and an XSS policy.
+package policy
+
+import (
+	"dprle/internal/nfa"
+	"dprle/internal/regex"
+)
+
+// Policy names an attack language.
+type Policy struct {
+	Name string
+	Lang *nfa.NFA
+}
+
+// SQLQuote is the paper's unsafe-query approximation: queries containing at
+// least one single quote.
+func SQLQuote() Policy {
+	return Policy{Name: "sql-quote", Lang: regex.MustMatchLanguage(`'`)}
+}
+
+// SQLComment matches queries containing a SQL comment marker, the `--` used
+// by the paper's example exploit to truncate the rest of the query.
+func SQLComment() Policy {
+	return Policy{Name: "sql-comment", Lang: regex.MustMatchLanguage(`--`)}
+}
+
+// SQLTautology matches queries containing an OR-tautology of the form
+// `OR <d>=<d>`, the paper's "OR 1=1" exploit shape.
+func SQLTautology() Policy {
+	return Policy{Name: "sql-tautology", Lang: regex.MustMatchLanguage(`OR [\d]+=[\d]+`)}
+}
+
+// SQLStacked matches queries containing a statement separator followed by a
+// second statement keyword (the "; DROP …" shape of the paper's example).
+func SQLStacked() Policy {
+	return Policy{
+		Name: "sql-stacked",
+		Lang: regex.MustMatchLanguage(`;[ ]*(DROP|DELETE|INSERT|UPDATE)`),
+	}
+}
+
+// SQLDefault is the policy the experiments use: the quote approximation.
+func SQLDefault() Policy { return SQLQuote() }
+
+// XSSScript matches output containing an opening script tag.
+func XSSScript() Policy {
+	return Policy{Name: "xss-script", Lang: regex.MustMatchLanguage(`<script`)}
+}
+
+// XSSDefault is the default XSS policy.
+func XSSDefault() Policy { return XSSScript() }
+
+// Combined unions several policies into one attack language.
+func Combined(name string, ps ...Policy) Policy {
+	langs := make([]*nfa.NFA, 0, len(ps))
+	for _, p := range ps {
+		langs = append(langs, p.Lang)
+	}
+	return Policy{Name: name, Lang: nfa.UnionAll(langs...)}
+}

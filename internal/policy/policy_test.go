@@ -1,0 +1,72 @@
+package policy
+
+import "testing"
+
+func TestSQLQuote(t *testing.T) {
+	p := SQLQuote()
+	if !p.Lang.Accepts("SELECT * FROM t WHERE x='1'") {
+		t.Fatal("quoted query should match")
+	}
+	if p.Lang.Accepts("SELECT * FROM t WHERE x=1") {
+		t.Fatal("quote-free query should not match")
+	}
+}
+
+func TestSQLComment(t *testing.T) {
+	p := SQLComment()
+	if !p.Lang.Accepts("SELECT 1 -- drop") || p.Lang.Accepts("SELECT 1 - 2") {
+		t.Fatal("comment policy wrong")
+	}
+}
+
+func TestSQLTautology(t *testing.T) {
+	p := SQLTautology()
+	if !p.Lang.Accepts("x=1 OR 1=1 ;") {
+		t.Fatal("OR 1=1 should match")
+	}
+	if p.Lang.Accepts("ORDER BY 1") {
+		t.Fatal("ORDER BY should not match")
+	}
+}
+
+func TestSQLStacked(t *testing.T) {
+	p := SQLStacked()
+	if !p.Lang.Accepts("SELECT 1; DROP news") || !p.Lang.Accepts("x;  DELETE FROM t") {
+		t.Fatal("stacked policy misses")
+	}
+	if p.Lang.Accepts("SELECT 1; SELECT 2") {
+		t.Fatal("stacked policy over-matches")
+	}
+}
+
+func TestXSSScript(t *testing.T) {
+	p := XSSScript()
+	if !p.Lang.Accepts("<div><script>alert(1)</script></div>") {
+		t.Fatal("script tag should match")
+	}
+	if p.Lang.Accepts("<div>hello</div>") {
+		t.Fatal("plain HTML should not match")
+	}
+}
+
+func TestCombined(t *testing.T) {
+	p := Combined("sql-any", SQLQuote(), SQLComment())
+	if !p.Lang.Accepts("has ' quote") || !p.Lang.Accepts("has -- comment") {
+		t.Fatal("combined policy misses parts")
+	}
+	if p.Lang.Accepts("benign") {
+		t.Fatal("combined policy over-matches")
+	}
+	if p.Name != "sql-any" {
+		t.Fatal("name lost")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	if SQLDefault().Name != "sql-quote" {
+		t.Fatal("SQL default should be the paper's quote policy")
+	}
+	if XSSDefault().Name != "xss-script" {
+		t.Fatal("XSS default wrong")
+	}
+}

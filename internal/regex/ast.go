@@ -1,0 +1,103 @@
+// Package regex implements the regular-expression dialect used by the DPRLE
+// reproduction: a PCRE-style subset sufficient for the paper's constraint
+// constants and for modeling PHP's preg_match checks (literals, character
+// classes, the \d \w \s family, '.', alternation, grouping, the * + ? and
+// {n,m} quantifiers, and the ^ / $ anchors).
+//
+// Two compilation modes are provided. Compile returns the exact language of
+// the pattern (the interpretation used for constraint constants), while
+// MatchLanguage returns the set of strings that preg_match would accept,
+// i.e. Σ*·r·Σ* with Σ*-padding dropped on sides that are anchored. The
+// distinction is the heart of the paper's motivating bug: /[\d]+$/ without
+// the ^ anchor admits "' OR 1=1 ; DROP news --9".
+package regex
+
+import (
+	"fmt"
+
+	"dprle/internal/nfa"
+)
+
+// node is a parsed regular-expression AST node.
+type node interface {
+	fmt.Stringer
+}
+
+// litNode matches a literal byte sequence.
+type litNode struct{ s string }
+
+// classNode matches any single byte in the set.
+type classNode struct{ set nfa.CharSet }
+
+// concatNode matches the concatenation of its parts.
+type concatNode struct{ parts []node }
+
+// altNode matches any of its branches.
+type altNode struct{ branches []node }
+
+// repeatNode matches between min and max repetitions of sub; max < 0 means
+// unbounded.
+type repeatNode struct {
+	sub      node
+	min, max int
+}
+
+// anchorNode is ^ (start) or $ (end).
+type anchorNode struct{ end bool }
+
+func (n litNode) String() string    { return fmt.Sprintf("lit(%q)", n.s) }
+func (n classNode) String() string  { return "class" + n.set.String() }
+func (n concatNode) String() string { return fmt.Sprintf("concat%v", n.parts) }
+func (n altNode) String() string    { return fmt.Sprintf("alt%v", n.branches) }
+func (n repeatNode) String() string {
+	return fmt.Sprintf("repeat(%v,%d,%d)", n.sub, n.min, n.max)
+}
+func (n anchorNode) String() string {
+	if n.end {
+		return "$"
+	}
+	return "^"
+}
+
+// Regex is a parsed regular expression.
+type Regex struct {
+	src string
+	ast node
+}
+
+// Source returns the original pattern text.
+func (r *Regex) Source() string { return r.src }
+
+// String renders the parsed form, primarily for debugging.
+func (r *Regex) String() string { return r.ast.String() }
+
+// Predefined escape classes.
+func escapeClass(c byte) (nfa.CharSet, bool) {
+	switch c {
+	case 'd':
+		return nfa.Range('0', '9'), true
+	case 'D':
+		return nfa.Range('0', '9').Complement(), true
+	case 'w':
+		w := nfa.Range('a', 'z').Union(nfa.Range('A', 'Z')).Union(nfa.Range('0', '9'))
+		w.Add('_')
+		return w, true
+	case 'W':
+		w, _ := escapeClass('w')
+		return w.Complement(), true
+	case 's':
+		return nfa.FromString(" \t\n\r\f\v"), true
+	case 'S':
+		s, _ := escapeClass('s')
+		return s.Complement(), true
+	}
+	return nfa.EmptySet(), false
+}
+
+// dotClass is the class matched by '.', every byte except newline
+// (PCRE's default, without the DOTALL flag).
+func dotClass() nfa.CharSet {
+	d := nfa.AnyByte()
+	d.Remove('\n')
+	return d
+}

@@ -1,0 +1,34 @@
+package regex
+
+import "testing"
+
+// FuzzParse checks the regex front end never panics and that successfully
+// compiled machines behave sanely (Accepts terminates, witnesses verify).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		``, `a`, `[\d]+$`, `^(a|b)*c{2,4}?`, `[^a-z\\]+`, `\x41\0\n`,
+		`(((`, `a{999}`, `a{1,`, `[]a]`, `a|`, `.*.*.*`, `\Q`, `{2}`,
+		`(?:x)+`, `[\w-]`, `a**`, "\xff\xfe", `^a$|^b$`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		r, err := Parse(pattern)
+		if err != nil {
+			return
+		}
+		m, err := r.Compile()
+		if err != nil {
+			return
+		}
+		if w, ok := m.ShortestWitness(); ok {
+			if !m.Accepts(w) {
+				t.Fatalf("witness %q of %q rejected", w, pattern)
+			}
+		}
+		if _, err := r.MatchLanguage(); err != nil {
+			// Anchor-position errors are fine; panics are not.
+			return
+		}
+	})
+}

@@ -1,0 +1,345 @@
+package regex
+
+import (
+	"fmt"
+
+	"dprle/internal/nfa"
+)
+
+// ParseError describes a syntax error in a pattern.
+type ParseError struct {
+	Pattern string
+	Pos     int
+	Msg     string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("regex: %s at position %d in %q", e.Msg, e.Pos, e.Pattern)
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pattern: p.src, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool  { return p.pos >= len(p.src) }
+func (p *parser) peek() byte { return p.src[p.pos] }
+func (p *parser) next() byte { c := p.src[p.pos]; p.pos++; return c }
+func (p *parser) accept(c byte) bool {
+	if !p.eof() && p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// Parse parses a pattern into a Regex.
+func Parse(pattern string) (*Regex, error) {
+	p := &parser{src: pattern}
+	ast, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, p.errf("unexpected %q", p.peek())
+	}
+	return &Regex{src: pattern, ast: ast}, nil
+}
+
+// MustParse is Parse that panics on error, for statically known patterns.
+func MustParse(pattern string) *Regex {
+	r, err := Parse(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (p *parser) parseAlt() (node, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	if p.eof() || p.peek() != '|' {
+		return first, nil
+	}
+	branches := []node{first}
+	for p.accept('|') {
+		b, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, b)
+	}
+	return altNode{branches: branches}, nil
+}
+
+func (p *parser) parseConcat() (node, error) {
+	var parts []node
+	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
+		part, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+	}
+	switch len(parts) {
+	case 0:
+		return litNode{s: ""}, nil
+	case 1:
+		return parts[0], nil
+	}
+	return concatNode{parts: parts}, nil
+}
+
+func (p *parser) parseRepeat() (node, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		var min, max int
+		switch p.peek() {
+		case '*':
+			p.next()
+			min, max = 0, -1
+		case '+':
+			p.next()
+			min, max = 1, -1
+		case '?':
+			p.next()
+			min, max = 0, 1
+		case '{':
+			var ok bool
+			min, max, ok, err = p.parseBounds()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				// A '{' that does not open a valid bound is a literal.
+				return atom, nil
+			}
+		default:
+			return atom, nil
+		}
+		if _, isAnchor := atom.(anchorNode); isAnchor {
+			return nil, p.errf("quantifier applied to anchor")
+		}
+		// Accept (and ignore) a lazy/possessive modifier: the matched
+		// language is the same.
+		if !p.eof() && (p.peek() == '?' || p.peek() == '+') {
+			p.next()
+		}
+		atom = repeatNode{sub: atom, min: min, max: max}
+	}
+	return atom, nil
+}
+
+// parseBounds parses {n}, {n,}, or {n,m} starting at '{'. If the text is not
+// a well-formed bound it restores the position and reports ok=false so the
+// brace is treated as a literal (PCRE behaviour).
+func (p *parser) parseBounds() (min, max int, ok bool, err error) {
+	start := p.pos
+	p.next() // consume '{'
+	readInt := func() (int, bool) {
+		begin := p.pos
+		v := 0
+		for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+			v = v*10 + int(p.next()-'0')
+			if v > 1000 {
+				return 0, false // refuse absurd expansions
+			}
+		}
+		return v, p.pos > begin
+	}
+	n, okN := readInt()
+	if !okN {
+		p.pos = start
+		return 0, 0, false, nil
+	}
+	min = n
+	max = n
+	if p.accept(',') {
+		if m, okM := readInt(); okM {
+			max = m
+			if max < min {
+				return 0, 0, false, p.errf("bound {%d,%d} has max < min", min, max)
+			}
+		} else {
+			max = -1
+		}
+	}
+	if !p.accept('}') {
+		p.pos = start
+		return 0, 0, false, nil
+	}
+	return min, max, true, nil
+}
+
+func (p *parser) parseAtom() (node, error) {
+	switch c := p.next(); c {
+	case '(':
+		// Accept non-capturing group syntax.
+		if p.pos+1 < len(p.src) && p.peek() == '?' && p.src[p.pos+1] == ':' {
+			p.pos += 2
+		}
+		sub, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(')') {
+			return nil, p.errf("missing ')'")
+		}
+		return sub, nil
+	case ')':
+		return nil, p.errf("unmatched ')'")
+	case '[':
+		return p.parseClass()
+	case '.':
+		return classNode{set: dotClass()}, nil
+	case '^':
+		return anchorNode{end: false}, nil
+	case '$':
+		return anchorNode{end: true}, nil
+	case '\\':
+		return p.parseEscape(false)
+	case '*', '+', '?':
+		return nil, p.errf("quantifier %q with nothing to repeat", c)
+	default:
+		return litNode{s: string([]byte{c})}, nil
+	}
+}
+
+// parseEscape handles an escape sequence after the backslash. When inClass is
+// true the result must be a class element (no anchors).
+func (p *parser) parseEscape(inClass bool) (node, error) {
+	if p.eof() {
+		return nil, p.errf("trailing backslash")
+	}
+	c := p.next()
+	if set, ok := escapeClass(c); ok {
+		return classNode{set: set}, nil
+	}
+	switch c {
+	case 'n':
+		return litNode{s: "\n"}, nil
+	case 't':
+		return litNode{s: "\t"}, nil
+	case 'r':
+		return litNode{s: "\r"}, nil
+	case 'f':
+		return litNode{s: "\f"}, nil
+	case 'v':
+		return litNode{s: "\v"}, nil
+	case '0':
+		return litNode{s: "\x00"}, nil
+	case 'x':
+		hi, ok1 := p.hexDigit()
+		lo, ok2 := p.hexDigit()
+		if !ok1 || !ok2 {
+			return nil, p.errf(`\x requires two hex digits`)
+		}
+		return litNode{s: string([]byte{byte(hi<<4 | lo)})}, nil
+	case 'A':
+		if inClass {
+			return nil, p.errf(`\A not allowed in class`)
+		}
+		return anchorNode{end: false}, nil
+	case 'z':
+		if inClass {
+			return nil, p.errf(`\z not allowed in class`)
+		}
+		return anchorNode{end: true}, nil
+	}
+	// Any other escaped byte stands for itself (\. \\ \[ \- \/ …).
+	return litNode{s: string([]byte{c})}, nil
+}
+
+func (p *parser) hexDigit() (int, bool) {
+	if p.eof() {
+		return 0, false
+	}
+	c := p.next()
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0'), true
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10, true
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10, true
+	}
+	return 0, false
+}
+
+// parseClass parses a [...] character class; the '[' is already consumed.
+func (p *parser) parseClass() (node, error) {
+	negate := p.accept('^')
+	set := nfa.EmptySet()
+	first := true
+	for {
+		if p.eof() {
+			return nil, p.errf("missing ']'")
+		}
+		if p.peek() == ']' && !first {
+			p.next()
+			break
+		}
+		first = false
+		lo, isSet, cls, err := p.classElement()
+		if err != nil {
+			return nil, err
+		}
+		if isSet {
+			set = set.Union(cls)
+			continue
+		}
+		// Possible range lo-hi.
+		if !p.eof() && p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.next() // consume '-'
+			hi, hiIsSet, _, err := p.classElement()
+			if err != nil {
+				return nil, err
+			}
+			if hiIsSet {
+				return nil, p.errf("class escape cannot end a range")
+			}
+			if hi < lo {
+				return nil, p.errf("inverted class range %q-%q", lo, hi)
+			}
+			set = set.Union(nfa.Range(lo, hi))
+			continue
+		}
+		set.Add(lo)
+	}
+	if negate {
+		set = set.Complement()
+	}
+	return classNode{set: set}, nil
+}
+
+// classElement reads one element inside a class: either a single byte
+// (isSet=false, returned in lo) or an escape class like \d (isSet=true).
+func (p *parser) classElement() (lo byte, isSet bool, set nfa.CharSet, err error) {
+	c := p.next()
+	if c != '\\' {
+		return c, false, nfa.EmptySet(), nil
+	}
+	n, err := p.parseEscape(true)
+	if err != nil {
+		return 0, false, nfa.EmptySet(), err
+	}
+	switch n := n.(type) {
+	case litNode:
+		if len(n.s) != 1 {
+			return 0, false, nfa.EmptySet(), p.errf("bad class escape")
+		}
+		return n.s[0], false, nfa.EmptySet(), nil
+	case classNode:
+		return 0, true, n.set, nil
+	}
+	return 0, false, nfa.EmptySet(), p.errf("bad class element")
+}

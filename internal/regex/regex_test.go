@@ -1,0 +1,302 @@
+package regex
+
+import (
+	"strings"
+	"testing"
+
+	"dprle/internal/nfa"
+)
+
+func accepts(t *testing.T, m *nfa.NFA, strs ...string) {
+	t.Helper()
+	for _, s := range strs {
+		if !m.Accepts(s) {
+			t.Errorf("should accept %q", s)
+		}
+	}
+}
+
+func rejects(t *testing.T, m *nfa.NFA, strs ...string) {
+	t.Helper()
+	for _, s := range strs {
+		if m.Accepts(s) {
+			t.Errorf("should reject %q", s)
+		}
+	}
+}
+
+func TestCompileLiteral(t *testing.T) {
+	m := MustCompile("abc")
+	accepts(t, m, "abc")
+	rejects(t, m, "", "ab", "abcd", "abd")
+}
+
+func TestCompileAlternation(t *testing.T) {
+	m := MustCompile("cat|dog|bird")
+	accepts(t, m, "cat", "dog", "bird")
+	rejects(t, m, "", "catdog", "ca")
+}
+
+func TestCompileEmptyBranch(t *testing.T) {
+	m := MustCompile("a|")
+	accepts(t, m, "a", "")
+	rejects(t, m, "b")
+}
+
+func TestCompileStarPlusOptional(t *testing.T) {
+	accepts(t, MustCompile("ab*"), "a", "ab", "abbb")
+	rejects(t, MustCompile("ab*"), "", "b", "aab")
+	accepts(t, MustCompile("ab+"), "ab", "abb")
+	rejects(t, MustCompile("ab+"), "a", "")
+	accepts(t, MustCompile("ab?"), "a", "ab")
+	rejects(t, MustCompile("ab?"), "abb")
+}
+
+func TestCompileGrouping(t *testing.T) {
+	m := MustCompile("(ab)+")
+	accepts(t, m, "ab", "abab")
+	rejects(t, m, "a", "aba")
+	nc := MustCompile("(?:ab)+")
+	if !nfa.Equivalent(m, nc) {
+		t.Fatal("(?:...) should equal (...)")
+	}
+}
+
+func TestCompileClass(t *testing.T) {
+	m := MustCompile("[a-c0-2_]")
+	accepts(t, m, "a", "b", "c", "0", "1", "2", "_")
+	rejects(t, m, "d", "3", "", "ab")
+}
+
+func TestCompileNegatedClass(t *testing.T) {
+	m := MustCompile("[^a-z]")
+	accepts(t, m, "A", "0", " ", "\n")
+	rejects(t, m, "a", "m", "z", "")
+}
+
+func TestCompileClassWithEscapes(t *testing.T) {
+	m := MustCompile(`[\d\-x]`)
+	accepts(t, m, "0", "9", "-", "x")
+	rejects(t, m, "a", "")
+	// ']' first position is literal.
+	m2 := MustCompile(`[]a]`)
+	accepts(t, m2, "]", "a")
+	rejects(t, m2, "b")
+	// Trailing '-' is literal.
+	m3 := MustCompile(`[a-]`)
+	accepts(t, m3, "a", "-")
+}
+
+func TestCompileEscapeClasses(t *testing.T) {
+	accepts(t, MustCompile(`\d+`), "0", "123456789")
+	rejects(t, MustCompile(`\d+`), "", "12a")
+	accepts(t, MustCompile(`\w+`), "hello_World9")
+	rejects(t, MustCompile(`\w+`), "a b", "-")
+	accepts(t, MustCompile(`\s`), " ", "\t", "\n")
+	rejects(t, MustCompile(`\s`), "x")
+	accepts(t, MustCompile(`\D`), "x", " ")
+	rejects(t, MustCompile(`\D`), "5")
+	accepts(t, MustCompile(`\S`), "x")
+	rejects(t, MustCompile(`\S`), " ")
+	accepts(t, MustCompile(`\W`), " ", "-")
+	rejects(t, MustCompile(`\W`), "a", "7", "_")
+}
+
+func TestCompileDot(t *testing.T) {
+	m := MustCompile("a.c")
+	accepts(t, m, "abc", "a c", "a.c", "a\xffc")
+	rejects(t, m, "a\nc", "ac", "abbc")
+}
+
+func TestCompileEscapedMetachars(t *testing.T) {
+	m := MustCompile(`\(\)\[\]\{\}\.\*\+\?\|\\\/`)
+	accepts(t, m, `()[]{}.*+?|\/`)
+}
+
+func TestCompileControlEscapes(t *testing.T) {
+	m := MustCompile(`\n\t\r\x41\0`)
+	accepts(t, m, "\n\t\rA\x00")
+}
+
+func TestCompileBounds(t *testing.T) {
+	m := MustCompile("a{3}")
+	accepts(t, m, "aaa")
+	rejects(t, m, "aa", "aaaa")
+	m = MustCompile("a{2,4}")
+	accepts(t, m, "aa", "aaa", "aaaa")
+	rejects(t, m, "a", "aaaaa")
+	m = MustCompile("(ab){2,}")
+	accepts(t, m, "abab", "ababab")
+	rejects(t, m, "ab", "")
+}
+
+func TestCompileLiteralBrace(t *testing.T) {
+	// Braces that don't form a bound are literal, like PCRE.
+	m := MustCompile("a{x}")
+	accepts(t, m, "a{x}")
+	m2 := MustCompile("{2}")
+	// Nothing to repeat → '{2}' is literal text in PCRE; we accept it as
+	// literal because readInt fails only when no digits; here digits exist
+	// but there is no atom before — our parser treats '{' with no preceding
+	// atom as literal.
+	accepts(t, m2, "{2}")
+}
+
+func TestCompileLazyQuantifiersSameLanguage(t *testing.T) {
+	a := MustCompile("a+?b")
+	b := MustCompile("a+b")
+	if !nfa.Equivalent(a, b) {
+		t.Fatal("lazy quantifier should not change the language")
+	}
+}
+
+func TestCompileBoundaryAnchorsAreNoOps(t *testing.T) {
+	a := MustCompile("^abc$")
+	b := MustCompile("abc")
+	if !nfa.Equivalent(a, b) {
+		t.Fatal("^abc$ should equal abc under exact-language reading")
+	}
+}
+
+func TestCompileInteriorAnchorRejected(t *testing.T) {
+	r := MustParse("a^b")
+	if _, err := r.Compile(); err == nil {
+		t.Fatal("interior anchor should be an error")
+	}
+	r2 := MustParse("a(^b)c")
+	if _, err := r2.Compile(); err == nil {
+		t.Fatal("nested anchor should be an error")
+	}
+}
+
+func TestQuantifiedAnchorRejected(t *testing.T) {
+	if _, err := Parse("^*a"); err == nil {
+		t.Fatal("quantified anchor should be a parse error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"(", ")", "(a", "[", "[a", `\x1`, "*a", "+", "a{4,2}", "[z-a]", `a\`}
+	for _, p := range bad {
+		if _, err := Parse(p); err == nil {
+			t.Errorf("Parse(%q) should fail", p)
+		} else if !strings.Contains(err.Error(), "regex:") {
+			t.Errorf("Parse(%q) error %q lacks prefix", p, err)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("ab(cd")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Pattern != "ab(cd" || pe.Pos == 0 {
+		t.Fatalf("bad error metadata: %+v", pe)
+	}
+}
+
+func TestMatchLanguageUnanchored(t *testing.T) {
+	// The paper's motivating filter: /[\d]+$/ — anchored right only.
+	m := MustMatchLanguage(`[\d]+$`)
+	accepts(t, m, "5", "123", "abc9", "' OR 1=1 ; DROP news --9")
+	rejects(t, m, "", "abc", "9x")
+}
+
+func TestMatchLanguageFullyAnchored(t *testing.T) {
+	m := MustMatchLanguage(`^[\d]+$`)
+	accepts(t, m, "5", "123")
+	rejects(t, m, "abc9", "9x", "")
+}
+
+func TestMatchLanguageNoAnchors(t *testing.T) {
+	m := MustMatchLanguage("abc")
+	accepts(t, m, "abc", "xxabcyy", "abcabc")
+	rejects(t, m, "ab", "axbxc")
+}
+
+func TestMatchLanguagePerBranchAnchors(t *testing.T) {
+	m := MustMatchLanguage("^a|b$")
+	accepts(t, m, "a", "axxx", "b", "xxxb")
+	rejects(t, m, "xa", "bx", "c")
+}
+
+func TestMatchLanguageLeftAnchorOnly(t *testing.T) {
+	m := MustMatchLanguage("^nid_")
+	accepts(t, m, "nid_", "nid_123")
+	rejects(t, m, "xnid_", "nid", "")
+}
+
+func TestSourceAndString(t *testing.T) {
+	r := MustParse(`a\d+`)
+	if r.Source() != `a\d+` {
+		t.Fatalf("Source = %q", r.Source())
+	}
+	if r.String() == "" {
+		t.Fatal("String should be nonempty")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile should panic on bad pattern")
+		}
+	}()
+	MustCompile("(")
+}
+
+func TestEmptyClassCompiles(t *testing.T) {
+	// [^\x00-\xff] is the empty class; its language is empty.
+	m := MustCompile(`[^\x00-\xff]`)
+	if !m.IsEmpty() {
+		t.Fatal("empty class should produce the empty language")
+	}
+}
+
+func TestHighByteRanges(t *testing.T) {
+	m := MustCompile(`[\x80-\xff]+`)
+	accepts(t, m, "\x80", "\xff\x80")
+	rejects(t, m, "a", "")
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	r := MustParse("select[ ]+from").CaseInsensitive()
+	m, err := r.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepts(t, m, "select from", "SELECT FROM", "SeLeCt  fRoM")
+	rejects(t, m, "selec from")
+	if !strings.Contains(r.Source(), "case-insensitive") {
+		t.Fatalf("Source = %q", r.Source())
+	}
+}
+
+func TestCaseInsensitiveClasses(t *testing.T) {
+	m, err := MustParse("[a-c]+[XY]").CaseInsensitive().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepts(t, m, "abcX", "ABCx", "AbCy")
+	rejects(t, m, "dX", "abc")
+}
+
+func TestCaseInsensitivePreservesNonLetters(t *testing.T) {
+	m, err := MustParse(`a1\.b`).CaseInsensitive().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepts(t, m, "a1.b", "A1.B")
+	rejects(t, m, "a1xb", "a2.b")
+}
+
+func TestCaseInsensitiveMatchLanguage(t *testing.T) {
+	m, err := MustParse("^union").CaseInsensitive().MatchLanguage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepts(t, m, "UNION SELECT", "Union x", "union")
+	rejects(t, m, "x union")
+}

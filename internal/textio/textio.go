@@ -1,0 +1,413 @@
+// Package textio reads and writes DPRLE constraint systems in a small
+// textual format, in the style of the stand-alone dprle tool the paper
+// released ("We have implemented our decision procedure as a stand-alone
+// utility in the style of a theorem prover or SAT solver", §4).
+//
+// Format, by example:
+//
+//	# The motivating example of the paper (Fig. 1 / §3.1).
+//	const filter := match /[\d]+$/;      # preg_match language
+//	const unsafe := match /'/;
+//	const exact  := re /abc|d*/;         # exact regex language
+//	const hello  := lit "nid_";
+//	const anystr := any;
+//
+//	input <= filter;
+//	hello . input <= unsafe;
+//
+// Identifiers on constraint left-hand sides refer to declared constants when
+// the name is declared and to variables otherwise. Right-hand sides must be
+// declared constants. `.` concatenates; `|` unions.
+package textio
+
+import (
+	"fmt"
+	"strings"
+
+	"dprle/internal/core"
+	"dprle/internal/nfa"
+	"dprle/internal/regex"
+)
+
+// ParseError reports a syntax error with line information.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("textio: line %d: %s", e.Line, e.Msg)
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type tokenKind int
+
+const (
+	tokIdent  tokenKind = iota
+	tokString           // "…"
+	tokRegex            // /…/
+	tokAssign           // :=
+	tokSubset           // <=
+	tokDot              // .
+	tokPipe             // |
+	tokSemi             // ;
+	tokEOF
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokRegex:
+		return "regex"
+	case tokAssign:
+		return "':='"
+	case tokSubset:
+		return "'<='"
+	case tokDot:
+		return "'.'"
+	case tokPipe:
+		return "'|'"
+	case tokSemi:
+		return "';'"
+	case tokEOF:
+		return "end of input"
+	}
+	return "token"
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", line})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", line})
+			i++
+		case c == '|':
+			toks = append(toks, token{tokPipe, "|", line})
+			i++
+		case c == ':' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, token{tokAssign, ":=", line})
+			i += 2
+		case c == '<' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, token{tokSubset, "<=", line})
+			i += 2
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+					switch src[j] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case 'r':
+						sb.WriteByte('\r')
+					case '0':
+						sb.WriteByte(0)
+					default:
+						sb.WriteByte(src[j])
+					}
+				} else {
+					if src[j] == '\n' {
+						line++
+					}
+					sb.WriteByte(src[j])
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, &ParseError{Line: line, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, token{tokString, sb.String(), line})
+			i = j + 1
+		case c == '/':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '/' {
+				if src[j] == '\\' && j+1 < len(src) {
+					// Keep the escape for the regex parser; \/ means /.
+					if src[j+1] == '/' {
+						sb.WriteByte('/')
+						j += 2
+						continue
+					}
+					sb.WriteByte(src[j])
+					sb.WriteByte(src[j+1])
+					j += 2
+					continue
+				}
+				if src[j] == '\n' {
+					return nil, &ParseError{Line: line, Msg: "unterminated regex literal"}
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, &ParseError{Line: line, Msg: "unterminated regex literal"}
+			}
+			toks = append(toks, token{tokRegex, sb.String(), line})
+			i = j + 1
+		case isIdentByte(c):
+			j := i
+			for j < len(src) && isIdentByte(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	sys  *core.System
+	decl map[string]*core.Const
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, &ParseError{Line: t.line, Msg: fmt.Sprintf("expected %v, found %v %q", k, t.kind, t.text)}
+	}
+	return t, nil
+}
+
+// Parse reads a constraint file and returns the system it denotes.
+func Parse(src string) (*core.System, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, sys: core.NewSystem(), decl: map[string]*core.Const{}}
+	for p.cur().kind != tokEOF {
+		if p.cur().kind == tokIdent && p.cur().text == "const" {
+			if err := p.constDecl(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := p.constraint(); err != nil {
+			return nil, err
+		}
+	}
+	return p.sys, nil
+}
+
+func (p *parser) constDecl() error {
+	p.next() // 'const'
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return err
+	}
+	lang, err := p.langExpr()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	if _, dup := p.decl[name.text]; dup {
+		return &ParseError{Line: name.line, Msg: fmt.Sprintf("constant %q redeclared", name.text)}
+	}
+	c, err := p.sys.Const(name.text, lang)
+	if err != nil {
+		return &ParseError{Line: name.line, Msg: err.Error()}
+	}
+	p.decl[name.text] = c
+	return nil
+}
+
+// langExpr := langTerm ('|' langTerm)*
+func (p *parser) langExpr() (*nfa.NFA, error) {
+	out, err := p.langTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPipe {
+		p.next()
+		t, err := p.langTerm()
+		if err != nil {
+			return nil, err
+		}
+		out = nfa.Union(out, t)
+	}
+	return out, nil
+}
+
+// langTerm := 'match' REGEX | 're' REGEX | 'lit' STRING | 'any'
+func (p *parser) langTerm() (*nfa.NFA, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	switch t.text {
+	case "match", "re":
+		rt, err := p.expect(tokRegex)
+		if err != nil {
+			return nil, err
+		}
+		r, err := regex.Parse(rt.text)
+		if err != nil {
+			return nil, &ParseError{Line: rt.line, Msg: err.Error()}
+		}
+		if t.text == "match" {
+			m, err := r.MatchLanguage()
+			if err != nil {
+				return nil, &ParseError{Line: rt.line, Msg: err.Error()}
+			}
+			return m, nil
+		}
+		m, err := r.Compile()
+		if err != nil {
+			return nil, &ParseError{Line: rt.line, Msg: err.Error()}
+		}
+		return m, nil
+	case "lit":
+		st, err := p.expect(tokString)
+		if err != nil {
+			return nil, err
+		}
+		return nfa.Literal(st.text), nil
+	case "any":
+		return nfa.AnyString(), nil
+	}
+	return nil, &ParseError{Line: t.line, Msg: fmt.Sprintf("expected match, re, lit, or any; found %q", t.text)}
+}
+
+// constraint := expr '<=' IDENT ';'
+func (p *parser) constraint() error {
+	lhs, err := p.expr()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokSubset); err != nil {
+		return err
+	}
+	rhs, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	c, ok := p.decl[rhs.text]
+	if !ok {
+		return &ParseError{Line: rhs.line, Msg: fmt.Sprintf("right-hand side %q is not a declared constant", rhs.text)}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	if err := p.sys.Add(lhs, c); err != nil {
+		return &ParseError{Line: rhs.line, Msg: err.Error()}
+	}
+	return nil
+}
+
+// expr := alt, alt := cat ('|' cat)*, cat := term ('.' term)*
+func (p *parser) expr() (core.Expr, error) {
+	out, err := p.cat()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPipe {
+		p.next()
+		r, err := p.cat()
+		if err != nil {
+			return nil, err
+		}
+		out = core.Or{Left: out, Right: r}
+	}
+	return out, nil
+}
+
+func (p *parser) cat() (core.Expr, error) {
+	out, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokDot {
+		p.next()
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		out = core.Cat{Left: out, Right: r}
+	}
+	return out, nil
+}
+
+func (p *parser) term() (core.Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		if c, ok := p.decl[t.text]; ok {
+			return c, nil
+		}
+		return core.Var{Name: t.text}, nil
+	case tokString:
+		return p.sys.AnonConst(nfa.Literal(t.text)), nil
+	}
+	return nil, &ParseError{Line: t.line, Msg: fmt.Sprintf("expected identifier or string, found %v %q", t.kind, t.text)}
+}
+
+// FormatResult renders solver output for human consumption: one block per
+// disjunctive assignment, one line per variable with a shortest witness.
+func FormatResult(sys *core.System, res *core.Result) string {
+	var b strings.Builder
+	if !res.Sat() {
+		b.WriteString("no assignments found\n")
+		return b.String()
+	}
+	for i, a := range res.Assignments {
+		fmt.Fprintf(&b, "assignment %d:\n", i+1)
+		for _, v := range sys.Vars() {
+			lang := a.Lookup(v)
+			if w, ok := lang.ShortestWitness(); ok {
+				fmt.Fprintf(&b, "  %s = %q  (machine: %d states)\n", v, w, lang.NumStates())
+			} else {
+				fmt.Fprintf(&b, "  %s = ∅\n", v)
+			}
+		}
+	}
+	if res.Truncated {
+		b.WriteString("(enumeration truncated)\n")
+	}
+	return b.String()
+}
