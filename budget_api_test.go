@@ -1,0 +1,183 @@
+package dprle
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dprle/internal/core"
+	"dprle/internal/textio"
+)
+
+// bombPattern's NFA has an exponential determinization: (a|b)*a(a|b)^24.
+const bombPattern = "(a|b)*a(a|b){24}"
+
+func bombAPISystem(t testing.TB) *System {
+	t.Helper()
+	s := NewSystem()
+	s.MustRequire(Concat(V("v1"), V("v2")), "bomb", MustRegexLang(bombPattern))
+	return s
+}
+
+func TestSolveContextExhaustedError(t *testing.T) {
+	s := bombAPISystem(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	res, err := s.SolveContext(ctx, Options{})
+	if err == nil {
+		t.Fatal("expected an error from the 200ms deadline")
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %T %v, want *ExhaustedError", err, err)
+	}
+	if ex.Kind != "deadline" {
+		t.Errorf("Kind = %q, want %q", ex.Kind, "deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("ExhaustedError does not unwrap to context.DeadlineExceeded")
+	}
+	if !strings.Contains(ex.Error(), "budget exhausted") {
+		t.Errorf("Error() = %q", ex.Error())
+	}
+	if res == nil {
+		t.Fatal("nil result alongside ExhaustedError")
+	}
+	if !res.Usage.Exhausted {
+		t.Error("Usage.Exhausted = false")
+	}
+}
+
+func TestSolveContextMaxStatesPublic(t *testing.T) {
+	s := bombAPISystem(t)
+	res, err := s.SolveContext(context.Background(), Options{MaxStates: 4000})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *ExhaustedError", err)
+	}
+	if ex.Kind != "max-states" {
+		t.Errorf("Kind = %q, want %q", ex.Kind, "max-states")
+	}
+	if ex.Limit != 4000 {
+		t.Errorf("Limit = %d, want 4000", ex.Limit)
+	}
+	for i, a := range res.Assignments {
+		if !s.Satisfies(a) {
+			t.Errorf("partial assignment %d does not satisfy the system", i)
+		}
+	}
+}
+
+func TestDecideContextUsage(t *testing.T) {
+	s := NewSystem()
+	s.MustRequire(Concat(V("v1"), V("v2")), "c", LitLang("ab"))
+	a, ok, usage, err := s.DecideContext(context.Background(), []string{"v1", "v2"}, Options{})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !s.Satisfies(a) {
+		t.Error("witness does not satisfy the system")
+	}
+	if usage.Steps == 0 {
+		t.Error("Usage.Steps = 0 after a complete solve")
+	}
+}
+
+func TestRecoverToError(t *testing.T) {
+	boom := func() (err error) {
+		defer recoverToError(&err)
+		panic("invariant violated")
+	}
+	err := boom()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Value != "invariant violated" {
+		t.Errorf("Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("empty stack trace")
+	}
+	if !strings.Contains(pe.Error(), "internal panic") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+// FuzzSolveContextBudget feeds arbitrary constraint-language sources through
+// the parser and solves whatever parses under a tiny resource budget. The
+// property under test is the robustness contract of the public API: no input
+// and no budget trip may escape as a panic (*PanicError or a crash), and any
+// assignments returned under exhaustion must still satisfy the system.
+func FuzzSolveContextBudget(f *testing.F) {
+	f.Add("const filter := match /[\\d]+$/;\ninput <= filter;")
+	f.Add("const c := re /ab*/;\nv <= c;")
+	f.Add("const unsafe := re /(a|b)*a(a|b){8}/;\n\"nid_\" . input <= unsafe;")
+	f.Add("x . y <= x;")
+	f.Add("const e := re //;\nv <= e;")
+	f.Fuzz(func(t *testing.T, src string) {
+		sys, err := textio.Parse(src)
+		if err != nil {
+			t.Skip()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+		defer cancel()
+		s := &System{inner: sys}
+		res, err := s.SolveContext(ctx, Options{MaxStates: 200, MaxSteps: 200, MaxSolutions: 8})
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			t.Fatalf("internal panic escaped the solver: %v\n%s", pe.Value, pe.Stack)
+		}
+		if res == nil {
+			t.Fatal("nil result")
+		}
+		if err != nil {
+			var ex *ExhaustedError
+			if !errors.As(err, &ex) {
+				t.Fatalf("unexpected error type %T: %v", err, err)
+			}
+			for i, a := range res.Assignments {
+				if !s.Satisfies(a) {
+					t.Errorf("partial assignment %d does not satisfy the system", i)
+				}
+			}
+		}
+	})
+}
+
+// TestSolveContextTinyBudgetSeeds runs the fuzz seeds directly so the
+// robustness property is exercised by plain `go test` too.
+func TestSolveContextTinyBudgetSeeds(t *testing.T) {
+	seeds := []string{
+		"const filter := match /[\\d]+$/;\ninput <= filter;",
+		"const c := re /ab*/;\nv <= c;",
+		"const unsafe := re /(a|b)*a(a|b){8}/;\n\"nid_\" . input <= unsafe;",
+		"const k := re /a*/;\nx . y <= k;",
+	}
+	for _, src := range seeds {
+		sys, err := textio.Parse(src)
+		if err != nil {
+			t.Fatalf("seed failed to parse: %v", err)
+		}
+		s := &System{inner: sys}
+		for _, limits := range []Options{
+			{MaxStates: 1}, {MaxSteps: 1}, {MaxStates: 50, MaxSteps: 50},
+		} {
+			res, err := s.SolveContext(context.Background(), limits)
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				t.Fatalf("panic escaped for %q under %+v: %v", src, limits, pe.Value)
+			}
+			if res == nil {
+				t.Fatalf("nil result for %q", src)
+			}
+			for i, a := range res.Assignments {
+				if !core.Satisfies(sys, a.inner) {
+					t.Errorf("assignment %d for %q under %+v does not satisfy", i, src, limits)
+				}
+			}
+		}
+	}
+}

@@ -4,6 +4,14 @@
 //	benchtab -table fig12        the Figure 12 per-defect results table
 //	benchtab -table fig12 -full  … including the warp/secure pathological
 //	                             case (takes minutes, like the paper's 577 s)
+//	benchtab -table fig12 -full -timeout 2s
+//	                             … with a per-path solve budget: the
+//	                             pathological row records a budget trip in
+//	                             its "exh" column instead of running for
+//	                             minutes
+//
+// Each fig12 row also reports the solver's budget counters (NFA states
+// materialized, checkpoints passed, exhausted paths).
 //	benchtab -table complexity   the §3.5 complexity sweeps
 //	benchtab -table all          everything (without -full, secure is skipped)
 //
@@ -30,9 +38,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		table    = fs.String("table", "all", "fig11, fig12, complexity, or all")
-		full     = fs.Bool("full", false, "include the pathological warp/secure case in fig12")
-		minimize = fs.Bool("minimize", false, "solve with intermediate-machine minimization (ablation)")
+		table     = fs.String("table", "all", "fig11, fig12, complexity, or all")
+		full      = fs.Bool("full", false, "include the pathological warp/secure case in fig12")
+		minimize  = fs.Bool("minimize", false, "solve with intermediate-machine minimization (ablation)")
+		timeout   = fs.Duration("timeout", 0, "per-path solve deadline for fig12; exhausted paths are recorded, not fatal (0 = none)")
+		maxStates = fs.Int64("max-states", 0, "per-path cap on NFA states materialized (0 = unlimited)")
+		maxSteps  = fs.Int64("max-steps", 0, "per-path cap on solver checkpoints (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -49,7 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	runFig12 := func() int {
-		rows, err := experiments.Figure12(opts, !*full)
+		rows, err := experiments.Figure12Budget(opts, !*full, *timeout, *maxStates, *maxSteps)
 		if err != nil {
 			fmt.Fprintf(stderr, "benchtab: %v\n", err)
 			return 2

@@ -9,17 +9,33 @@
 //	dprle [flags] [file.dprle]
 //
 // With no file, the system is read from standard input. Exit status is 0
-// when an assignment exists, 1 when "no assignments found", 2 on errors.
+// when an assignment exists, 1 when "no assignments found", 2 on parse or
+// usage errors, and 3 when a resource budget (-timeout, -max-states,
+// -max-steps) was exhausted before the solve completed. On exit 3 any
+// verified partial assignments are still printed; satisfiability of the
+// rest of the space is unknown.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"dprle/internal/budget"
 	"dprle/internal/core"
 	"dprle/internal/textio"
+)
+
+// Exit codes. A budget trip does not kill the process mid-write: the solver
+// unwinds cleanly, partial results are printed, then the code is returned.
+const (
+	exitSat       = 0
+	exitUnsat     = 1
+	exitError     = 2
+	exitExhausted = 3
 )
 
 func main() {
@@ -30,16 +46,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dprle", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		maxSol   = fs.Int("max", 0, "cap on disjunctive assignments (0 = default)")
-		minimize = fs.Bool("minimize", false, "minimize intermediate machines")
-		raw      = fs.Bool("raw", false, "track constant machines verbatim (paper-prototype mode)")
-		nomax    = fs.Bool("nomaximalize", false, "skip the maximality fixpoint (raw seam disjuncts)")
-		enum     = fs.Int("enum", 0, "also list up to N language members per variable")
-		enumLen  = fs.Int("enumlen", 12, "maximum member length for -enum")
-		dotVar   = fs.String("dot", "", "print the first assignment's machine for this variable in Graphviz DOT")
+		maxSol    = fs.Int("max", 0, "cap on disjunctive assignments (0 = default)")
+		minimize  = fs.Bool("minimize", false, "minimize intermediate machines")
+		raw       = fs.Bool("raw", false, "track constant machines verbatim (paper-prototype mode)")
+		nomax     = fs.Bool("nomaximalize", false, "skip the maximality fixpoint (raw seam disjuncts)")
+		enum      = fs.Int("enum", 0, "also list up to N language members per variable")
+		enumLen   = fs.Int("enumlen", 12, "maximum member length for -enum")
+		dotVar    = fs.String("dot", "", "print the first assignment's machine for this variable in Graphviz DOT")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the solve; on expiry partial results print and exit status is 3 (0 = none)")
+		maxStates = fs.Int64("max-states", 0, "cap on NFA states materialized during the solve (0 = unlimited)")
+		maxSteps  = fs.Int64("max-steps", 0, "cap on solver checkpoints (0 = unlimited)")
+		usage     = fs.Bool("usage", false, "report resource usage counters on stderr after the solve")
 	)
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitError
+	}
+	if *timeout < 0 || *maxStates < 0 || *maxSteps < 0 {
+		fmt.Fprintln(stderr, "dprle: -timeout, -max-states, and -max-steps must be non-negative")
+		return exitError
 	}
 
 	var src []byte
@@ -51,27 +75,39 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		src, err = os.ReadFile(fs.Arg(0))
 	default:
 		fmt.Fprintln(stderr, "dprle: at most one input file")
-		return 2
+		return exitError
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "dprle: %v\n", err)
-		return 2
+		return exitError
 	}
 
 	sys, err := textio.Parse(string(src))
 	if err != nil {
 		fmt.Fprintf(stderr, "dprle: %v\n", err)
-		return 2
+		return exitError
 	}
-	res, err := core.Solve(sys, core.Options{
+
+	// The timeout cancels the solve, not the process: the solver unwinds at
+	// its next checkpoint and returns whatever it had verified by then.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, solveErr := core.SolveCtx(ctx, sys, core.Options{
 		MaxSolutions: *maxSol,
 		Minimize:     *minimize,
 		RawConstants: *raw,
 		NoMaximalize: *nomax,
+		Limits:       budget.Limits{MaxStates: *maxStates, MaxSteps: *maxSteps},
 	})
-	if err != nil {
-		fmt.Fprintf(stderr, "dprle: %v\n", err)
-		return 2
+	var exhausted *budget.Exhausted
+	if solveErr != nil && !errors.As(solveErr, &exhausted) {
+		// Structural/internal failure, not a budget trip.
+		fmt.Fprintf(stderr, "dprle: %v\n", solveErr)
+		return exitError
 	}
 	fmt.Fprint(stdout, textio.FormatResult(sys, res))
 	if *enum > 0 && res.Sat() {
@@ -91,12 +127,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		if !known {
 			fmt.Fprintf(stderr, "dprle: unknown variable %q for -dot\n", *dotVar)
-			return 2
+			return exitError
 		}
 		fmt.Fprint(stdout, res.First().Lookup(*dotVar).Dot(*dotVar))
 	}
-	if !res.Sat() {
-		return 1
+	if *usage {
+		fmt.Fprintf(stderr, "dprle: usage: states=%d steps=%d exhausted=%v\n",
+			res.Usage.States, res.Usage.Steps, res.Usage.Exhausted)
 	}
-	return 0
+	if exhausted != nil {
+		if res.Sat() {
+			fmt.Fprintf(stderr, "dprle: %v; the assignments above are verified but enumeration is incomplete\n", solveErr)
+		} else {
+			fmt.Fprintf(stderr, "dprle: %v; satisfiability unknown\n", solveErr)
+		}
+		return exitExhausted
+	}
+	if !res.Sat() {
+		return exitUnsat
+	}
+	return exitSat
 }

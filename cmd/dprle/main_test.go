@@ -94,6 +94,53 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+// bombSrc is a system whose solve determinizes an exponentially-blowing
+// NFA ((a|b)*a(a|b)^24), guaranteeing any small budget trips.
+const bombSrc = "const bomb := re /(a|b)*a(a|b){24}/;\nv1 . v2 <= bomb;\n"
+
+func TestRunTimeoutExitCode(t *testing.T) {
+	var out, errb strings.Builder
+	rc := run([]string{"-timeout", "150ms"}, strings.NewReader(bombSrc), &out, &errb)
+	if rc != 3 {
+		t.Fatalf("rc = %d, want 3; stderr %q", rc, errb.String())
+	}
+	if !strings.Contains(errb.String(), "budget exhausted") {
+		t.Fatalf("stderr = %q, want budget-exhausted note", errb.String())
+	}
+	// The timeout kills the solve, not the process: results (possibly
+	// "no assignments found") must still have been printed.
+	if out.String() == "" {
+		t.Fatal("no result output printed on budget exhaustion")
+	}
+}
+
+func TestRunMaxStatesExitCode(t *testing.T) {
+	var out, errb strings.Builder
+	rc := run([]string{"-max-states", "2000", "-usage"}, strings.NewReader(bombSrc), &out, &errb)
+	if rc != 3 {
+		t.Fatalf("rc = %d, want 3; stderr %q", rc, errb.String())
+	}
+	if !strings.Contains(errb.String(), "max-states") {
+		t.Fatalf("stderr = %q, want a max-states trip", errb.String())
+	}
+	if !strings.Contains(errb.String(), "usage: states=") {
+		t.Fatalf("stderr = %q, want -usage counters", errb.String())
+	}
+}
+
+func TestRunGenerousBudgetStillSat(t *testing.T) {
+	src := "const c := re /ab*/;\nv <= c;\n"
+	var out, errb strings.Builder
+	rc := run([]string{"-timeout", "30s", "-max-states", "1000000", "-max-steps", "1000000"},
+		strings.NewReader(src), &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc = %d, stderr %q", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "assignment 1:") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
 func TestRunDotOutput(t *testing.T) {
 	src := "const c := re /ab/;\nv <= c;\n"
 	var out, errb strings.Builder

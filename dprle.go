@@ -1,6 +1,14 @@
 package dprle
 
-import "dprle/internal/core"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"dprle/internal/budget"
+	"dprle/internal/core"
+)
 
 // Expr is the left-hand side of a subset constraint: a variable, a constant,
 // a concatenation, or a union of expressions.
@@ -39,6 +47,16 @@ type Options struct {
 	// NoMaximalize skips the maximality fixpoint; returned disjuncts then
 	// mirror the raw seam structure (ablation).
 	NoMaximalize bool
+	// MaxStates caps the total number of NFA states the solve may
+	// materialize across all product/determinization constructions.
+	// 0 means unlimited. When the cap trips, the solve unwinds and
+	// returns its verified partial results with an *ExhaustedError.
+	MaxStates int64
+	// MaxSteps caps the number of solver checkpoints (inner-loop progress
+	// marks). 0 means unlimited.
+	MaxSteps int64
+	// Sequential disables the concurrent solving of independent CI-groups.
+	Sequential bool
 }
 
 func (o Options) toCore() core.Options {
@@ -47,6 +65,93 @@ func (o Options) toCore() core.Options {
 		Minimize:     o.Minimize,
 		RawConstants: o.RawConstants,
 		NoMaximalize: o.NoMaximalize,
+		Sequential:   o.Sequential,
+		Limits:       budget.Limits{MaxStates: o.MaxStates, MaxSteps: o.MaxSteps},
+	}
+}
+
+// Usage reports the resources a solve consumed.
+type Usage struct {
+	// States is the number of NFA states materialized by budgeted
+	// constructions (products, determinizations, quotients).
+	States int64
+	// Steps is the number of solver checkpoints passed.
+	Steps int64
+	// Exhausted reports whether a resource budget tripped during the solve.
+	Exhausted bool
+}
+
+// ExhaustedError reports that a solve ran out of a configured resource
+// budget — the context's deadline or cancellation, or an Options limit —
+// and degraded gracefully instead of running to completion. The Result
+// returned alongside it holds verified partial output (see SolveContext).
+//
+// It unwraps to the context's error for deadline/cancellation trips, so
+// errors.Is(err, context.DeadlineExceeded) and errors.Is(err,
+// context.Canceled) work as expected.
+type ExhaustedError struct {
+	// Kind names the budget that tripped: "deadline", "canceled",
+	// "max-states", "max-steps", or "fault-injected".
+	Kind string
+	// Stage is the pipeline stage that hit the limit, e.g.
+	// "nfa.determinize" or "gci.combos".
+	Stage string
+	// States and Steps are the counters consumed at the moment of the trip.
+	States int64
+	Steps  int64
+	// Limit is the configured bound for counter trips (0 for deadline/
+	// cancellation).
+	Limit int64
+
+	cause error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("dprle: budget exhausted: %s at %s (states=%d steps=%d limit=%d)",
+		e.Kind, e.Stage, e.States, e.Steps, e.Limit)
+}
+
+// Unwrap exposes the underlying budget error (which itself unwraps to the
+// context error for deadline/cancellation trips).
+func (e *ExhaustedError) Unwrap() error { return e.cause }
+
+// PanicError wraps a panic recovered at the API boundary: an internal
+// invariant of the solver was violated. The solve that produced it returned
+// no usable result; the Stack identifies the defect.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("dprle: internal panic: %v", e.Value)
+}
+
+// wrapErr converts internal budget errors into the public ExhaustedError;
+// other errors pass through unchanged.
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ex *budget.Exhausted
+	if errors.As(err, &ex) {
+		return &ExhaustedError{
+			Kind:   string(ex.Kind),
+			Stage:  ex.Stage,
+			States: ex.States,
+			Steps:  ex.Steps,
+			Limit:  ex.Limit,
+			cause:  ex,
+		}
+	}
+	return err
+}
+
+// recoverToError converts a panic escaping the solver into a *PanicError,
+// keeping internal invariant violations from crashing the calling process.
+func recoverToError(err *error) {
+	if r := recover(); r != nil {
+		*err = &PanicError{Value: r, Stack: debug.Stack()}
 	}
 }
 
@@ -122,8 +227,26 @@ func (a Assignment) Witnesses() (map[string]string, error) {
 type Result struct {
 	// Assignments are the maximal satisfying assignments found.
 	Assignments []Assignment
-	// Truncated reports that enumeration stopped at a configured bound.
+	// Truncated reports that enumeration stopped at a configured bound
+	// (MaxSolutions or the seam-combination cap). This is distinct from
+	// resource exhaustion, which SolveContext signals with a non-nil
+	// *ExhaustedError.
 	Truncated bool
+	// Usage reports the resources the solve consumed.
+	Usage Usage
+}
+
+func wrapResult(res *core.Result) *Result {
+	out := &Result{}
+	if res == nil {
+		return out
+	}
+	out.Truncated = res.Truncated
+	out.Usage = Usage{States: res.Usage.States, Steps: res.Usage.Steps, Exhausted: res.Usage.Exhausted}
+	for _, a := range res.Assignments {
+		out.Assignments = append(out.Assignments, Assignment{inner: a})
+	}
+	return out
 }
 
 // Sat reports whether at least one assignment was found.
@@ -141,15 +264,28 @@ func (r *Result) First() Assignment {
 // satisfying assignments (up to configured bounds). An empty result means no
 // assignment gives every variable a nonempty language.
 func (s *System) Solve(opts Options) (*Result, error) {
-	res, err := core.Solve(s.inner, opts.toCore())
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{Truncated: res.Truncated}
-	for _, a := range res.Assignments {
-		out.Assignments = append(out.Assignments, Assignment{inner: a})
-	}
-	return out, nil
+	return s.SolveContext(context.Background(), opts)
+}
+
+// SolveContext is Solve under a resource budget: the context's deadline and
+// cancellation, plus Options.MaxStates/MaxSteps, bound the work. On
+// exhaustion the solver degrades gracefully:
+//
+//   - The returned error is an *ExhaustedError recording which budget
+//     tripped, at which pipeline stage, and the counters consumed.
+//   - The Result returned alongside it is non-nil and holds verified
+//     partial output: every assignment in it genuinely satisfies the
+//     system; only the enumeration is incomplete. An empty Result with a
+//     non-nil error means satisfiability is UNKNOWN, not unsat.
+//   - With a nil error, an empty Result remains a proof of
+//     unsatisfiability, exactly as for Solve.
+//
+// Internal solver panics are recovered here and reported as *PanicError
+// rather than crashing the caller.
+func (s *System) SolveContext(ctx context.Context, opts Options) (res *Result, err error) {
+	defer recoverToError(&err)
+	cres, cerr := core.SolveCtx(ctx, s.inner, opts.toCore())
+	return wrapResult(cres), wrapErr(cerr)
 }
 
 // SolveFor solves only the parts of the system the given variables depend
@@ -157,26 +293,39 @@ func (s *System) Solve(opts Options) (*Result, error) {
 // the needs of the client analysis" (§4). Variables outside the requested
 // dependency region are reported as Σ*.
 func (s *System) SolveFor(interest []string, opts Options) (*Result, error) {
-	res, err := core.SolveFor(s.inner, interest, opts.toCore())
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{Truncated: res.Truncated}
-	for _, a := range res.Assignments {
-		out.Assignments = append(out.Assignments, Assignment{inner: a})
-	}
-	return out, nil
+	return s.SolveForContext(context.Background(), interest, opts)
+}
+
+// SolveForContext is SolveFor under a resource budget, with the same
+// degradation semantics as SolveContext.
+func (s *System) SolveForContext(ctx context.Context, interest []string, opts Options) (res *Result, err error) {
+	defer recoverToError(&err)
+	cres, cerr := core.SolveForCtx(ctx, s.inner, interest, opts.toCore())
+	return wrapResult(cres), wrapErr(cerr)
 }
 
 // Decide answers the decision problem for the given variables: it returns an
 // assignment covering them with nonempty languages, or ok=false when none
 // exists (the paper's "no assignments found").
 func (s *System) Decide(interest []string, opts Options) (Assignment, bool, error) {
-	a, ok, err := core.Decide(s.inner, interest, opts.toCore())
-	if err != nil || !ok {
-		return Assignment{}, false, err
+	a, ok, _, err := s.DecideContext(context.Background(), interest, opts)
+	return a, ok, err
+}
+
+// DecideContext is Decide under a resource budget. On exhaustion it returns
+// any satisfying witness found before the trip: ok=true with a non-nil
+// *ExhaustedError still carries a trustworthy assignment, while ok=false
+// with a non-nil error means "unknown", not unsat. The returned Usage
+// reports the resources consumed either way.
+func (s *System) DecideContext(ctx context.Context, interest []string, opts Options) (a Assignment, ok bool, usage Usage, err error) {
+	defer recoverToError(&err)
+	ca, cok, cu, cerr := core.DecideCtx(ctx, s.inner, interest, opts.toCore())
+	usage = Usage{States: cu.States, Steps: cu.Steps, Exhausted: cu.Exhausted}
+	err = wrapErr(cerr)
+	if !cok {
+		return Assignment{}, false, usage, err
 	}
-	return Assignment{inner: a}, true, nil
+	return Assignment{inner: ca}, true, usage, err
 }
 
 // Satisfies reports whether the assignment meets every constraint of the

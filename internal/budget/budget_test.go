@@ -1,0 +1,166 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dprle/internal/faultinject"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 1000; i++ {
+		if err := b.Check("x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddStates(100, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if u := b.Usage(); u != (Usage{}) {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
+func TestMaxStatesTrips(t *testing.T) {
+	b := New(context.Background(), Limits{MaxStates: 100})
+	var err error
+	for i := 0; i < 200 && err == nil; i++ {
+		err = b.AddStates(1, "stage-a")
+	}
+	var ex *Exhausted
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v", err)
+	}
+	if ex.Kind != States || ex.Stage != "stage-a" || ex.Limit != 100 {
+		t.Fatalf("ex = %+v", ex)
+	}
+	if u := b.Usage(); !u.Exhausted || u.States != 101 {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
+func TestMaxStepsTrips(t *testing.T) {
+	b := New(context.Background(), Limits{MaxSteps: 5})
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		err = b.Check("loop")
+	}
+	var ex *Exhausted
+	if !errors.As(err, &ex) || ex.Kind != Steps {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeadlineTripsAndUnwrap(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done()
+	b := New(ctx, Limits{})
+	err := b.Check("waiting")
+	var ex *Exhausted
+	if !errors.As(err, &ex) || ex.Kind != Deadline {
+		t.Fatalf("err = %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("Exhausted should unwrap to context.DeadlineExceeded")
+	}
+}
+
+func TestCancellationTripsOnStatePath(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := New(ctx, Limits{})
+	var err error
+	// The context is polled on an amortized schedule, so a single AddStates
+	// may pass; within one poll window it must trip.
+	for i := 0; i <= ctxPollMask+1 && err == nil; i++ {
+		err = b.AddStates(1, "alloc")
+	}
+	var ex *Exhausted
+	if !errors.As(err, &ex) || ex.Kind != Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("Exhausted should unwrap to context.Canceled")
+	}
+}
+
+func TestTripIsSticky(t *testing.T) {
+	b := New(context.Background(), Limits{MaxSteps: 1})
+	_ = b.Check("a")
+	first := b.Check("a")
+	if first == nil {
+		t.Fatal("expected trip")
+	}
+	// Every later probe, on any path, returns the same event immediately.
+	if err := b.AddStates(1, "b"); err != first {
+		t.Fatalf("AddStates after trip = %v, want the original %v", err, first)
+	}
+	if err := b.Check("c"); err != first {
+		t.Fatalf("Check after trip = %v", err)
+	}
+	if err := b.Err(); err != first {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	b := New(context.Background(), Limits{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				_ = b.AddStates(1, "p")
+				_ = b.Check("p")
+			}
+		}()
+	}
+	wg.Wait()
+	u := b.Usage()
+	if u.States != 8000 || u.Steps != 8000 || u.Exhausted {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
+func TestFaultInjectionAlloc(t *testing.T) {
+	defer faultinject.Arm(faultinject.Alloc, 3)()
+	b := New(context.Background(), Limits{})
+	var err error
+	n := 0
+	for i := 0; i < 10 && err == nil; i++ {
+		n++
+		err = b.AddStates(1, "fi")
+	}
+	var ex *Exhausted
+	if !errors.As(err, &ex) || ex.Kind != Injected {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("fired on allocation %d, want 3", n)
+	}
+}
+
+func TestFaultInjectionFiresOnce(t *testing.T) {
+	disarm := faultinject.Arm(faultinject.Checkpoint, 1)
+	defer disarm()
+	if !faultinject.Fire(faultinject.Checkpoint) {
+		t.Fatal("first occurrence should fire")
+	}
+	for i := 0; i < 5; i++ {
+		if faultinject.Fire(faultinject.Checkpoint) {
+			t.Fatal("fault fired twice")
+		}
+	}
+	if faultinject.Fire(faultinject.Alloc) {
+		t.Fatal("wrong point fired")
+	}
+}

@@ -1,6 +1,11 @@
 package core
 
-import "dprle/internal/nfa"
+import (
+	"fmt"
+
+	"dprle/internal/budget"
+	"dprle/internal/nfa"
+)
 
 // CISolution is one disjunctive solution to a Concatenation-Intersection
 // instance: an assignment [v1 ↦ V1, v2 ↦ V2] (paper §3.2).
@@ -34,28 +39,63 @@ func ConcatIntersect(c1, c2, c3 *nfa.NFA) []CISolution {
 	return sols
 }
 
+// ConcatIntersectB is ConcatIntersect under a resource budget. On
+// exhaustion it returns the (verified, nonempty) solutions sliced out
+// before the trip together with the budget's *Exhausted error.
+func ConcatIntersectB(bud *budget.Budget, c1, c2, c3 *nfa.NFA) ([]CISolution, error) {
+	sols, _, err := concatIntersectB(bud, c1, c2, c3)
+	return sols, err
+}
+
 // ConcatIntersectTrace is ConcatIntersect, additionally returning the
 // intermediate machines for inspection (Fig. 4 reproduces them).
 func ConcatIntersectTrace(c1, c2, c3 *nfa.NFA) ([]CISolution, *CITrace) {
+	sols, trace, _ := concatIntersectB(nil, c1, c2, c3)
+	return sols, trace
+}
+
+func concatIntersectB(bud *budget.Budget, c1, c2, c3 *nfa.NFA) ([]CISolution, *CITrace, error) {
 	const seamTag = 0
 	m4 := nfa.ConcatTagged(c1, c2, seamTag)
-	m5 := nfa.Intersect(m4, c3).Trim()
+	m5i, err := nfa.IntersectB(bud, m4, c3)
+	if err != nil {
+		return nil, nil, err
+	}
+	m5 := m5i.Trim()
 	trace := &CITrace{M4: m4, M5: m5, Seams: m5.TaggedEdges()}
 
 	var out []CISolution
 	seen := map[[2]string]bool{}
-	for _, seam := range trace.Seams {
+	for si, seam := range trace.Seams {
+		if err := bud.Check("ci.seams"); err != nil {
+			return out, trace, err
+		}
 		v1 := m5.Induce(m5.Start(), seam.From) // induce_from_final(M5, q_a)
 		v2 := m5.Induce(seam.To, m5.Final())   // induce_from_start(M5, q_b)
 		if v1.IsEmpty() || v2.IsEmpty() {
 			continue
 		}
-		key := [2]string{nfa.Fingerprint(v1), nfa.Fingerprint(v2)}
-		if seen[key] {
+		key, keyed := seamKey(bud, v1, v2, si)
+		if keyed && seen[key] {
 			continue
 		}
 		seen[key] = true
 		out = append(out, CISolution{V1: v1, V2: v2})
 	}
-	return out, trace
+	return out, trace, nil
+}
+
+// seamKey fingerprints a solution pair for dedup; when the budget trips
+// mid-fingerprint the key degrades to one unique per seam index so the
+// solution is kept rather than wrongly merged.
+func seamKey(bud *budget.Budget, v1, v2 *nfa.NFA, ord int) ([2]string, bool) {
+	f1, err := nfa.FingerprintB(bud, v1)
+	if err != nil {
+		return [2]string{fmt.Sprintf("!seam%d", ord), ""}, false
+	}
+	f2, err := nfa.FingerprintB(bud, v2)
+	if err != nil {
+		return [2]string{fmt.Sprintf("!seam%d", ord), ""}, false
+	}
+	return [2]string{f1, f2}, true
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"dprle/internal/budget"
 	"dprle/internal/nfa"
 )
 
@@ -90,7 +91,9 @@ func (s *System) Const(name string, lang *nfa.NFA) (*Const, error) {
 	return c, nil
 }
 
-// MustConst is Const for statically known names.
+// MustConst is Const for statically known names. The panic marks a
+// programming error in static system construction; code paths that intern
+// user-supplied names must call Const and handle the error.
 func (s *System) MustConst(name string, lang *nfa.NFA) *Const {
 	c, err := s.Const(name, lang)
 	if err != nil {
@@ -99,13 +102,18 @@ func (s *System) MustConst(name string, lang *nfa.NFA) *Const {
 	return c
 }
 
-// AnonConst interns a constant under a generated name.
+// AnonConst interns a constant under a generated name. Unlike MustConst it
+// cannot fail: the generated name is fresh by construction, so the constant
+// is inserted directly. (User input flows through here via the parser and
+// the symbolic executor; it must never panic.)
 func (s *System) AnonConst(lang *nfa.NFA) *Const {
 	for {
 		name := fmt.Sprintf("c#%d", s.nextAnon)
 		s.nextAnon++
 		if _, taken := s.consts[name]; !taken {
-			return s.MustConst(name, lang)
+			c := &Const{Name: name, Lang: lang}
+			s.consts[name] = c
+			return c
 		}
 	}
 }
@@ -125,7 +133,8 @@ func (s *System) Add(lhs Expr, rhs *Const) error {
 	return nil
 }
 
-// MustAdd is Add that panics on error.
+// MustAdd is Add that panics on error, for statically known constraints.
+// Code paths fed by user input must call Add and handle the error.
 func (s *System) MustAdd(lhs Expr, rhs *Const) {
 	if err := s.Add(lhs, rhs); err != nil {
 		panic(err)
@@ -258,12 +267,23 @@ func (a Assignment) Eval(e Expr) *nfa.NFA {
 // to the given variables; two assignments agree on those variables (as
 // languages) iff their fingerprints are equal.
 func (a Assignment) Fingerprint(vars []string) string {
+	fp, _ := a.FingerprintB(nil, vars)
+	return fp
+}
+
+// FingerprintB is Fingerprint under a resource budget: the per-variable
+// canonicalization is accounted against bud.
+func (a Assignment) FingerprintB(bud *budget.Budget, vars []string) (string, error) {
 	var b strings.Builder
 	for _, v := range vars {
+		fp, err := nfa.FingerprintB(bud, a.Lookup(v))
+		if err != nil {
+			return "", err
+		}
 		b.WriteString(v)
 		b.WriteByte('=')
-		b.WriteString(nfa.Fingerprint(a.Lookup(v)))
+		b.WriteString(fp)
 		b.WriteByte('\n')
 	}
-	return b.String()
+	return b.String(), nil
 }

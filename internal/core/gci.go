@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"dprle/internal/budget"
 	"dprle/internal/nfa"
 )
 
@@ -36,20 +37,25 @@ type gciSolver struct {
 	g     *Graph
 	opts  Options
 	canon *constCache
+	bud   *budget.Budget // resource budget; nil means unlimited
 
 	varLang map[int]*nfa.NFA // var node → language after inbound subsets
 	built   map[int]*nfa.NFA // temp node → machine with seam tags
 }
 
 // constCache canonicalizes constant languages (unless Options.RawConstants)
-// and memoizes the result per constant.
+// and memoizes the result per constant. Canonicalization is a pure
+// optimization — the minimal DFA recognizes the same language — so when the
+// budget trips mid-minimization the cache degrades to the raw constant
+// machine instead of failing the solve.
 type constCache struct {
 	raw   bool
+	bud   *budget.Budget
 	canon map[*Const]*nfa.NFA
 }
 
-func newConstCache(opts Options) *constCache {
-	return &constCache{raw: opts.RawConstants, canon: map[*Const]*nfa.NFA{}}
+func newConstCache(opts Options, bud *budget.Budget) *constCache {
+	return &constCache{raw: opts.RawConstants, bud: bud, canon: map[*Const]*nfa.NFA{}}
 }
 
 func (cc *constCache) get(c *Const) *nfa.NFA {
@@ -59,7 +65,10 @@ func (cc *constCache) get(c *Const) *nfa.NFA {
 	if m, ok := cc.canon[c]; ok {
 		return m
 	}
-	m := nfa.Minimized(c.Lang)
+	m, err := nfa.MinimizedB(cc.bud, c.Lang)
+	if err != nil {
+		return c.Lang // budget tripped: degrade to the equivalent raw machine
+	}
 	cc.canon[c] = m
 	return m
 }
@@ -93,6 +102,10 @@ func (s *gciSolver) solveGroup(group []int) ([]map[int]*nfa.NFA, error) {
 	return sols, err
 }
 
+// solveGroupTrunc solves one CI-group under the solver's budget. When the
+// budget trips mid-group it returns the (verified) solutions found so far
+// together with the budget's *Exhausted error; callers treat those partial
+// solutions as genuine satisfying disjuncts whose enumeration is incomplete.
 func (s *gciSolver) solveGroupTrunc(group []int) ([]map[int]*nfa.NFA, bool, error) {
 	inGroup := map[int]bool{}
 	for _, id := range group {
@@ -101,13 +114,20 @@ func (s *gciSolver) solveGroupTrunc(group []int) ([]map[int]*nfa.NFA, bool, erro
 
 	// Stage 1 (ordering invariant): inbound subset constraints on variables.
 	for _, id := range group {
+		if err := s.bud.Check("gci.var-subsets"); err != nil {
+			return nil, false, err
+		}
 		n := s.g.Nodes[id]
 		if n.Kind != VarNode {
 			continue
 		}
 		lang := nfa.AnyString()
 		for _, c := range s.g.SubsetsInto(id) {
-			lang = nfa.Intersect(lang, s.canon.get(c)).Trim()
+			li, err := nfa.IntersectB(s.bud, lang, s.canon.get(c))
+			if err != nil {
+				return nil, false, err
+			}
+			lang = li.Trim()
 		}
 		s.varLang[id] = s.maybeMin(lang)
 	}
@@ -119,6 +139,9 @@ func (s *gciSolver) solveGroupTrunc(group []int) ([]map[int]*nfa.NFA, bool, erro
 		return nil, false, err
 	}
 	for _, tid := range order {
+		if err := s.bud.Check("gci.temps"); err != nil {
+			return nil, false, err
+		}
 		pair, ok := s.g.pairByResult(tid)
 		if !ok {
 			return nil, false, fmt.Errorf("core: temp node %d has no defining concat pair", tid)
@@ -133,7 +156,11 @@ func (s *gciSolver) solveGroupTrunc(group []int) ([]map[int]*nfa.NFA, bool, erro
 		}
 		m := nfa.ConcatTagged(left, right, pair.Tag)
 		for _, c := range s.g.SubsetsInto(tid) {
-			m = nfa.Intersect(m, s.canon.get(c)).Trim()
+			mi, err := nfa.IntersectB(s.bud, m, s.canon.get(c))
+			if err != nil {
+				return nil, false, err
+			}
+			m = mi.Trim()
 		}
 		s.built[tid] = m
 	}
@@ -174,32 +201,50 @@ func (s *gciSolver) solveGroupTrunc(group []int) ([]map[int]*nfa.NFA, bool, erro
 	}
 
 	// Stage 4: enumerate combinations of seam choices across all roots and
-	// reconcile shared variables.
+	// reconcile shared variables. Solutions appended before a budget trip are
+	// already verified (comboSatisfies passed), so they are returned alongside
+	// the error as a usable partial result.
 	combos, truncated := s.enumerateCombos(roots)
 	var solutions []map[int]*nfa.NFA
 	seen := map[string]bool{}
-	for _, combo := range combos {
-		sol, ok := s.evalCombo(roots, combo, occs)
+	for ci, combo := range combos {
+		if err := s.bud.Check("gci.combos"); err != nil {
+			return solutions, truncated, err
+		}
+		sol, ok, err := s.evalCombo(roots, combo, occs)
+		if err != nil {
+			return solutions, truncated, err
+		}
 		if !ok {
 			continue
 		}
-		if !s.comboSatisfies(group, sol) {
+		ok, err = s.comboSatisfies(group, sol)
+		if err != nil {
+			return solutions, truncated, err
+		}
+		if !ok {
 			continue
 		}
-		key := solutionKey(sol)
+		key := s.solutionKey(sol, ci)
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
 		solutions = append(solutions, sol)
 	}
-	return pruneSubsumed(solutions), truncated, nil
+	return s.pruneSubsumed(solutions), truncated, nil
 }
 
-// maybeMin minimizes a machine when the Minimize option is on.
+// maybeMin minimizes a machine when the Minimize option is on. Minimization
+// is language-preserving, so on budget exhaustion it degrades to the input
+// machine rather than failing the solve.
 func (s *gciSolver) maybeMin(m *nfa.NFA) *nfa.NFA {
 	if s.opts.Minimize {
-		return nfa.Minimized(m)
+		mm, err := nfa.MinimizedB(s.bud, m)
+		if err != nil {
+			return m
+		}
+		return mm
 	}
 	return m
 }
@@ -351,8 +396,9 @@ func (s *gciSolver) enumerateCombos(roots []*rootInfo) (combos []comboChoice, tr
 // evalCombo computes the candidate assignment induced by one combination of
 // seam choices: every leaf span is sliced out of its root machine, and each
 // variable receives the intersection of its occurrence machines. It reports
-// ok=false when any span or variable comes out empty.
-func (s *gciSolver) evalCombo(roots []*rootInfo, combo comboChoice, occs map[int][]occurrence) (map[int]*nfa.NFA, bool) {
+// ok=false when any span or variable comes out empty, and a non-nil error
+// when the budget trips mid-intersection.
+func (s *gciSolver) evalCombo(roots []*rootInfo, combo comboChoice, occs map[int][]occurrence) (map[int]*nfa.NFA, bool, error) {
 	// spanMachine(root r, leaf i) = Induce(prevSeam.To | start, nextSeam.From | final).
 	spans := make([][]*nfa.NFA, len(roots))
 	for ri, root := range roots {
@@ -368,7 +414,7 @@ func (s *gciSolver) evalCombo(roots []*rootInfo, combo comboChoice, occs map[int
 			}
 			sp := root.m.Induce(from, to)
 			if sp.IsEmpty() {
-				return nil, false
+				return nil, false, nil
 			}
 			spans[ri][li] = sp
 		}
@@ -379,13 +425,17 @@ func (s *gciSolver) evalCombo(roots []*rootInfo, combo comboChoice, occs map[int
 		for _, o := range os {
 			machines = append(machines, spans[o.root][o.leaf])
 		}
-		lang := nfa.IntersectAll(machines...).Trim()
+		li, err := nfa.IntersectAllB(s.bud, machines...)
+		if err != nil {
+			return nil, false, err
+		}
+		lang := li.Trim()
 		if lang.IsEmpty() {
-			return nil, false
+			return nil, false, nil
 		}
 		sol[varID] = s.maybeMin(lang)
 	}
-	return sol, true
+	return sol, true, nil
 }
 
 // comboSatisfies verifies a candidate assignment against every subset
@@ -393,7 +443,7 @@ func (s *gciSolver) evalCombo(roots []*rootInfo, combo comboChoice, occs map[int
 // rebuilt from the assignment (constants fixed), must be contained in all of
 // its constraining constants. Variable-level constraints hold by
 // construction (spans are sub-machines of post-subset operand machines).
-func (s *gciSolver) comboSatisfies(group []int, sol map[int]*nfa.NFA) bool {
+func (s *gciSolver) comboSatisfies(group []int, sol map[int]*nfa.NFA) (bool, error) {
 	var evalNode func(id int) *nfa.NFA
 	memo := map[int]*nfa.NFA{}
 	evalNode = func(id int) *nfa.NFA {
@@ -423,16 +473,22 @@ func (s *gciSolver) comboSatisfies(group []int, sol map[int]*nfa.NFA) bool {
 		}
 		lang := evalNode(id)
 		for _, c := range s.g.SubsetsInto(id) {
-			if !nfa.Subset(lang, s.canon.get(c)) {
-				return false
+			ok, err := nfa.SubsetB(s.bud, lang, s.canon.get(c))
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
 			}
 		}
 	}
-	return true
+	return true, nil
 }
 
-// solutionKey fingerprints a node-to-NFA solution for deduplication.
-func solutionKey(sol map[int]*nfa.NFA) string {
+// solutionKey fingerprints a node-to-NFA solution for deduplication. When the
+// budget trips mid-fingerprint the key degrades to one unique per enumeration
+// position (ord), so a verified solution is kept rather than wrongly merged.
+func (s *gciSolver) solutionKey(sol map[int]*nfa.NFA, ord int) string {
 	ids := make([]int, 0, len(sol))
 	for id := range sol {
 		ids = append(ids, id)
@@ -440,14 +496,24 @@ func solutionKey(sol map[int]*nfa.NFA) string {
 	sortInts(ids)
 	key := ""
 	for _, id := range ids {
-		key += fmt.Sprintf("%d:%s;", id, nfa.Fingerprint(sol[id]))
+		fp, err := nfa.FingerprintB(s.bud, sol[id])
+		if err != nil {
+			return fmt.Sprintf("!combo%d", ord)
+		}
+		key += fmt.Sprintf("%d:%s;", id, fp)
 	}
 	return key
 }
 
 // pruneSubsumed drops solutions that are pointwise subsumed by another
 // solution: such assignments are extendable and therefore not maximal.
-func pruneSubsumed(sols []map[int]*nfa.NFA) []map[int]*nfa.NFA {
+// Pruning is an optimization — every input is a verified satisfying
+// assignment — so on budget exhaustion it degrades to the unpruned set.
+func (s *gciSolver) pruneSubsumed(sols []map[int]*nfa.NFA) []map[int]*nfa.NFA {
+	return pruneSubsumedB(s.bud, sols)
+}
+
+func pruneSubsumedB(bud *budget.Budget, sols []map[int]*nfa.NFA) []map[int]*nfa.NFA {
 	var out []map[int]*nfa.NFA
 	for i, a := range sols {
 		subsumed := false
@@ -455,7 +521,15 @@ func pruneSubsumed(sols []map[int]*nfa.NFA) []map[int]*nfa.NFA {
 			if i == j {
 				continue
 			}
-			if pointwiseSubset(a, b) && !pointwiseSubset(b, a) {
+			ab, err := pointwiseSubset(bud, a, b)
+			if err != nil {
+				return sols
+			}
+			ba, err := pointwiseSubset(bud, b, a)
+			if err != nil {
+				return sols
+			}
+			if ab && !ba {
 				subsumed = true
 				break
 			}
@@ -467,14 +541,21 @@ func pruneSubsumed(sols []map[int]*nfa.NFA) []map[int]*nfa.NFA {
 	return out
 }
 
-func pointwiseSubset(a, b map[int]*nfa.NFA) bool {
+func pointwiseSubset(bud *budget.Budget, a, b map[int]*nfa.NFA) (bool, error) {
 	for id, la := range a {
 		lb, ok := b[id]
-		if !ok || !nfa.Subset(la, lb) {
-			return false
+		if !ok {
+			return false, nil
+		}
+		sub, err := nfa.SubsetB(bud, la, lb)
+		if err != nil {
+			return false, err
+		}
+		if !sub {
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
 func max(a, b int) int {

@@ -1,6 +1,9 @@
 package core
 
-import "dprle/internal/nfa"
+import (
+	"dprle/internal/budget"
+	"dprle/internal/nfa"
+)
 
 // Maximalization. The seam-slicing of concat_intersect yields disjuncts
 // whose granularity depends on the state-sharing structure of the constant
@@ -15,19 +18,24 @@ import "dprle/internal/nfa"
 // a variable inside one constraint can never cause an unsound extension.
 // Distinct seam combinations that maximalize to the same assignment collapse
 // during deduplication, which reproduces the paper's disjunct sets exactly.
+//
+// Maximalization only ever grows an already-satisfying assignment, so under
+// a resource budget it degrades: when the budget trips mid-fixpoint, the
+// current (verified) assignment is returned unchanged instead of failing.
 
 // maximizer maximalizes assignments against one system, caching the
 // complement machines of constraint right-hand sides across calls.
 type maximizer struct {
 	sys    *System
-	cons   []Constraint     // desugared
+	bud    *budget.Budget // nil means unlimited
+	cons   []Constraint   // desugared
 	byVar  map[string][]int // var name → indices into cons mentioning it
 	notRhs map[*Const]*nfa.NFA
 	rounds int
 }
 
-func newMaximizer(s *System) *maximizer {
-	m := &maximizer{sys: s, cons: s.desugared(), byVar: map[string][]int{}, notRhs: map[*Const]*nfa.NFA{}, rounds: 8}
+func newMaximizer(s *System, bud *budget.Budget) *maximizer {
+	m := &maximizer{sys: s, bud: bud, cons: s.desugared(), byVar: map[string][]int{}, notRhs: map[*Const]*nfa.NFA{}, rounds: 8}
 	for i, c := range m.cons {
 		for _, leaf := range flattenCat(c.Lhs) {
 			if v, ok := leaf.(Var); ok {
@@ -43,30 +51,40 @@ func newMaximizer(s *System) *maximizer {
 
 // satisfiesTouching checks only the constraints that mention v: growing v
 // cannot affect any other constraint's left-hand side.
-func (m *maximizer) satisfiesTouching(v string, a Assignment) bool {
+func (m *maximizer) satisfiesTouching(v string, a Assignment) (bool, error) {
 	for _, i := range m.byVar[v] {
 		c := m.cons[i]
-		bad := nfa.Intersect(a.Eval(c.Lhs), m.notC(c.Rhs))
+		notc, err := m.notC(c.Rhs)
+		if err != nil {
+			return false, err
+		}
+		bad, err := nfa.IntersectB(m.bud, a.Eval(c.Lhs), notc)
+		if err != nil {
+			return false, err
+		}
 		if !bad.IsEmpty() {
-			return false
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
-func (m *maximizer) notC(c *Const) *nfa.NFA {
+func (m *maximizer) notC(c *Const) (*nfa.NFA, error) {
 	if n, ok := m.notRhs[c]; ok {
-		return n
+		return n, nil
 	}
-	n := nfa.Complement(c.Lang)
+	n, err := nfa.ComplementB(m.bud, c.Lang)
+	if err != nil {
+		return nil, err
+	}
 	m.notRhs[c] = n
-	return n
+	return n, nil
 }
 
 // bound computes the largest language variable v may hold, given the other
 // assignments in a (and v's other occurrences fixed at a[v]). The second
 // result reports whether v occurs in any constraint.
-func (m *maximizer) bound(v string, a Assignment) (*nfa.NFA, bool) {
+func (m *maximizer) bound(v string, a Assignment) (*nfa.NFA, bool, error) {
 	out := nfa.AnyString()
 	constrained := false
 	for _, c := range m.cons {
@@ -79,10 +97,22 @@ func (m *maximizer) bound(v string, a Assignment) (*nfa.NFA, bool) {
 			constrained = true
 			prefix := evalSlice(a, leaves[:i])
 			suffix := evalSlice(a, leaves[i+1:])
-			out = nfa.Intersect(out, nfa.MaxMiddleNot(prefix, suffix, m.notC(c.Rhs))).Trim()
+			notc, err := m.notC(c.Rhs)
+			if err != nil {
+				return nil, false, err
+			}
+			mid, err := nfa.MaxMiddleNotB(m.bud, prefix, suffix, notc)
+			if err != nil {
+				return nil, false, err
+			}
+			oi, err := nfa.IntersectB(m.bud, out, mid)
+			if err != nil {
+				return nil, false, err
+			}
+			out = oi.Trim()
 		}
 	}
-	return out, constrained
+	return out, constrained, nil
 }
 
 // maximalizeVars runs the fixpoint over the given variables only: it
@@ -90,6 +120,7 @@ func (m *maximizer) bound(v string, a Assignment) (*nfa.NFA, bool) {
 // result satisfies the system whenever the input does, and is Maximal for
 // systems without repeated variable occurrences inside a single constraint;
 // with repetitions, growth steps that would break Satisfying are skipped.
+// A budget trip at any point returns the current assignment unchanged.
 //
 // Solve uses this per CI-group: groups share no variables or constraints,
 // so maximalizing group variables against their own constraints (holding
@@ -101,13 +132,23 @@ func (m *maximizer) maximalizeVars(a Assignment, vars []string) Assignment {
 		cur[k] = lang
 	}
 	for round := 0; round < m.rounds; round++ {
+		if m.bud.Check("maximalize") != nil {
+			return cur
+		}
 		changed := false
 		for _, v := range vars {
-			b, constrained := m.bound(v, cur)
+			b, constrained, err := m.bound(v, cur)
+			if err != nil {
+				return cur
+			}
 			if !constrained {
 				continue // free of constraints: Solve assigned Σ* already
 			}
-			if nfa.Subset(b, cur.Lookup(v)) {
+			sub, err := nfa.SubsetB(m.bud, b, cur.Lookup(v))
+			if err != nil {
+				return cur
+			}
+			if sub {
 				continue // bound adds nothing
 			}
 			candidate := nfa.Union(cur.Lookup(v), b).Trim()
@@ -116,7 +157,11 @@ func (m *maximizer) maximalizeVars(a Assignment, vars []string) Assignment {
 				trial[k] = lang
 			}
 			trial[v] = candidate
-			if m.satisfiesTouching(v, trial) {
+			ok, err := m.satisfiesTouching(v, trial)
+			if err != nil {
+				return cur
+			}
+			if ok {
 				cur = trial
 				changed = true
 			}

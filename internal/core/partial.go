@@ -1,6 +1,12 @@
 package core
 
-import "dprle/internal/nfa"
+import (
+	"context"
+	"errors"
+
+	"dprle/internal/budget"
+	"dprle/internal/nfa"
+)
 
 // Partial solving. The paper highlights "the possibility of solving either
 // part or all of the graph depending on the needs of the client analysis"
@@ -15,12 +21,30 @@ import "dprle/internal/nfa"
 // their correct value in any maximal assignment that ignores their
 // constraints. Semantics for the covered variables are identical to Solve.
 func SolveFor(s *System, interest []string, opts Options) (*Result, error) {
+	return SolveForCtx(context.Background(), s, interest, opts)
+}
+
+// SolveForCtx is SolveFor under a resource budget, with the same
+// degradation semantics as SolveCtx: on exhaustion the verified partial
+// result is returned alongside a *budget.Exhausted error, and an empty
+// Result with a non-nil error means "unknown", not unsat.
+func SolveForCtx(ctx context.Context, s *System, interest []string, opts Options) (*Result, error) {
+	bud := budget.New(ctx, opts.Limits)
+	res, err := solveForBudget(s, interest, opts, bud)
+	if res == nil {
+		res = &Result{}
+	}
+	res.Usage = bud.Usage()
+	return res, err
+}
+
+func solveForBudget(s *System, interest []string, opts Options, bud *budget.Budget) (*Result, error) {
 	want := map[string]bool{}
 	for _, v := range interest {
 		want[v] = true
 	}
 	g := BuildGraph(s)
-	canon := newConstCache(opts)
+	canon := newConstCache(opts, bud)
 
 	// Free variables of interest reduce by intersection.
 	base := Assignment{}
@@ -30,9 +54,16 @@ func SolveFor(s *System, interest []string, opts Options) (*Result, error) {
 		if !want[n.Name] {
 			continue
 		}
+		if err := bud.Check("solve-for.free-vars"); err != nil {
+			return nil, err
+		}
 		lang := nfa.AnyString()
 		for _, c := range g.SubsetsInto(id) {
-			lang = nfa.Intersect(lang, canon.get(c)).Trim()
+			li, err := nfa.IntersectB(bud, lang, canon.get(c))
+			if err != nil {
+				return nil, err
+			}
+			lang = li.Trim()
 		}
 		base[n.Name] = lang
 		covered[n.Name] = true
@@ -40,28 +71,37 @@ func SolveFor(s *System, interest []string, opts Options) (*Result, error) {
 
 	// CI-groups touching a variable of interest are solved integrally; a
 	// group cannot be split, so its other variables come along.
-	solver := &gciSolver{g: g, opts: opts, canon: canon, varLang: map[int]*nfa.NFA{}, built: map[int]*nfa.NFA{}}
-	var maxer *maximizer
-	if !opts.NoMaximalize {
-		maxer = newMaximizer(s)
-	}
-	var perGroup [][]map[int]*nfa.NFA
+	var touchedGroups [][]int
 	for _, group := range g.CIGroups() {
-		touched := false
 		for _, id := range group {
 			if g.Nodes[id].Kind == VarNode && want[g.Nodes[id].Name] {
-				touched = true
+				touchedGroups = append(touchedGroups, group)
 				break
 			}
 		}
-		if !touched {
-			continue
-		}
+	}
+	solver := &gciSolver{g: g, opts: opts, canon: canon, bud: bud, varLang: map[int]*nfa.NFA{}, built: map[int]*nfa.NFA{}}
+	var maxer *maximizer
+	if !opts.NoMaximalize {
+		maxer = newMaximizer(s, bud)
+	}
+	var perGroup [][]map[int]*nfa.NFA
+	var exhaustedErr error
+	for gi, group := range touchedGroups {
 		sols, err := solver.solveGroup(group)
 		if err != nil {
-			return nil, err
-		}
-		if len(sols) == 0 {
+			var ex *budget.Exhausted
+			if !errors.As(err, &ex) {
+				return nil, err
+			}
+			// A partial result is only usable when every group of interest
+			// contributed verified disjuncts: an unsolved group would leave
+			// its variables at Σ*, which need not satisfy their constraints.
+			if len(sols) == 0 || gi < len(touchedGroups)-1 {
+				return &Result{}, err
+			}
+			exhaustedErr = err
+		} else if len(sols) == 0 {
 			return &Result{}, nil
 		}
 		for _, id := range group {
@@ -116,10 +156,13 @@ func SolveFor(s *System, interest []string, opts Options) (*Result, error) {
 	for _, a := range assignments {
 		for v, lang := range a {
 			if covered[v] && lang.IsEmpty() {
+				if exhaustedErr != nil {
+					return &Result{}, exhaustedErr
+				}
 				return &Result{}, nil
 			}
 		}
 	}
 	res.Assignments = assignments
-	return res, nil
+	return res, exhaustedErr
 }

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
+	"dprle/internal/budget"
 	"dprle/internal/nfa"
 )
 
@@ -37,6 +41,13 @@ type Options struct {
 	// like the raw concat_intersect output). Intended for ablation
 	// benchmarks.
 	NoMaximalize bool
+	// Limits bounds the resources the solve may consume (NFA states
+	// materialized, solver checkpoints). Zero fields mean unlimited. Wall
+	//-clock deadlines and cancellation come from the context passed to
+	// SolveCtx. When a limit trips, the solver unwinds and returns the
+	// verified partial results found so far alongside a *budget.Exhausted
+	// error.
+	Limits budget.Limits
 }
 
 // Defaults for Options fields left zero.
@@ -66,8 +77,12 @@ func (o Options) maxCombos() int {
 type Result struct {
 	Assignments []Assignment
 	// Truncated reports that enumeration hit MaxSolutions/MaxCombos, so
-	// further disjunctive assignments may exist.
+	// further disjunctive assignments may exist. This is a configured
+	// enumeration cap, distinct from resource exhaustion (which SolveCtx
+	// signals through a *budget.Exhausted error).
 	Truncated bool
+	// Usage reports the resources the solve consumed.
+	Usage budget.Usage
 }
 
 // Sat reports whether at least one assignment was found.
@@ -118,19 +133,62 @@ func (r *Result) SatFor(interest []string) bool {
 // right-hand sides, group eliminations never unlock further reductions, so
 // one pass over the groups is complete.
 func Solve(s *System, opts Options) (*Result, error) {
+	return SolveCtx(context.Background(), s, opts)
+}
+
+// SolveCtx is Solve under a resource budget: the context's deadline and
+// cancellation, plus opts.Limits, bound the solve. On exhaustion the solver
+// degrades gracefully rather than running to completion:
+//
+//   - The returned error wraps a *budget.Exhausted recording which limit
+//     tripped, at which pipeline stage, and the counters consumed. For
+//     deadline/cancellation trips it also unwraps to the context's error,
+//     so errors.Is(err, context.DeadlineExceeded) works.
+//   - The Result returned alongside the error holds the verified partial
+//     output: every assignment in it genuinely satisfies the system (each
+//     disjunct is checked before the budget could trip past it); only the
+//     enumeration is incomplete. An empty Result with a non-nil error means
+//     satisfiability is unknown, NOT unsat.
+//   - A nil error with an empty Result remains a proof of unsatisfiability,
+//     exactly as for Solve.
+//
+// Language-preserving optimizations (constant canonicalization,
+// minimization, maximalization, dedup, subsumption pruning) degrade
+// silently when the budget trips inside them; only solve-critical
+// constructions surface the error.
+func SolveCtx(ctx context.Context, s *System, opts Options) (*Result, error) {
+	bud := budget.New(ctx, opts.Limits)
+	res, err := solveBudget(s, opts, bud)
+	if res == nil {
+		res = &Result{}
+	}
+	res.Usage = bud.Usage()
+	return res, err
+}
+
+func solveBudget(s *System, opts Options, bud *budget.Budget) (*Result, error) {
 	g := BuildGraph(s)
-	canon := newConstCache(opts)
+	canon := newConstCache(opts, bud)
 
 	// Stage 1: free variables (no concat edges) reduce by intersection.
 	base := Assignment{}
 	for _, id := range g.FreeVars() {
+		if err := bud.Check("solve.free-vars"); err != nil {
+			return nil, err
+		}
 		n := g.Nodes[id]
 		lang := nfa.AnyString()
 		for _, c := range g.SubsetsInto(id) {
-			lang = nfa.Intersect(lang, canon.get(c)).Trim()
+			li, err := nfa.IntersectB(bud, lang, canon.get(c))
+			if err != nil {
+				return nil, err
+			}
+			lang = li.Trim()
 		}
 		if opts.Minimize {
-			lang = nfa.Minimized(lang)
+			if ml, err := nfa.MinimizedB(bud, lang); err == nil {
+				lang = ml
+			}
 		}
 		base[n.Name] = lang
 	}
@@ -146,14 +204,16 @@ func Solve(s *System, opts Options) (*Result, error) {
 
 	// Stage 2: eliminate each CI-group with gci. Groups are independent (no
 	// shared variables or temps by construction), so they are solved
-	// concurrently when there is more than one.
+	// concurrently when there is more than one. The budget is shared across
+	// goroutines (its counters are atomic), so a trip in one group promptly
+	// stops the others at their next checkpoint.
 	groups := g.CIGroups()
 	perGroup := make([][]map[int]*nfa.NFA, len(groups))
 	groupTrunc := make([]bool, len(groups))
 	groupErrs := make([]error, len(groups))
 	if len(groups) <= 1 || opts.Sequential {
 		for i, group := range groups {
-			solver := &gciSolver{g: g, opts: opts, canon: canon, varLang: map[int]*nfa.NFA{}, built: map[int]*nfa.NFA{}}
+			solver := &gciSolver{g: g, opts: opts, canon: canon, bud: bud, varLang: map[int]*nfa.NFA{}, built: map[int]*nfa.NFA{}}
 			perGroup[i], groupTrunc[i], groupErrs[i] = solver.solveGroupTrunc(group)
 		}
 	} else {
@@ -162,10 +222,20 @@ func Solve(s *System, opts Options) (*Result, error) {
 			wg.Add(1)
 			go func(i int, group []int) {
 				defer wg.Done()
+				// A panic inside a goroutine would kill the process rather
+				// than unwind to the API boundary, so convert it to an error
+				// here. perGroup[i] stays nil: no partially-built state from
+				// the panicked group can leak into the result.
+				defer func() {
+					if r := recover(); r != nil {
+						perGroup[i] = nil
+						groupErrs[i] = fmt.Errorf("core: internal panic in CI-group solver: %v\n%s", r, debug.Stack())
+					}
+				}()
 				// Each goroutine gets its own solver state and constant
 				// cache: the shared canon map is not synchronized.
 				solver := &gciSolver{
-					g: g, opts: opts, canon: newConstCache(opts),
+					g: g, opts: opts, canon: newConstCache(opts, bud), bud: bud,
 					varLang: map[int]*nfa.NFA{}, built: map[int]*nfa.NFA{},
 				}
 				perGroup[i], groupTrunc[i], groupErrs[i] = solver.solveGroupTrunc(group)
@@ -173,15 +243,39 @@ func Solve(s *System, opts Options) (*Result, error) {
 		}
 		wg.Wait()
 	}
-	res := &Result{}
+
+	// Structural and internal errors (anything that is not a budget trip)
+	// abort the solve outright.
 	for i := range groups {
-		if groupErrs[i] != nil {
-			return nil, groupErrs[i]
+		if err := groupErrs[i]; err != nil {
+			var ex *budget.Exhausted
+			if !errors.As(err, &ex) {
+				return nil, err
+			}
 		}
-		if len(perGroup[i]) == 0 {
-			// This group admits no all-nonempty assignment: the whole system
-			// reports "no assignments found".
+	}
+	// Genuine unsat wins over exhaustion elsewhere: a group that completed
+	// with zero disjuncts proves the whole system has no all-nonempty
+	// assignment, regardless of what the budget did to other groups.
+	for i := range groups {
+		if groupErrs[i] == nil && len(perGroup[i]) == 0 {
 			return &Result{}, nil
+		}
+	}
+	// Remaining errors are budget trips. Groups that produced disjuncts
+	// before tripping contribute them as verified partials; a group
+	// exhausted before its first disjunct leaves satisfiability unknown, so
+	// no assignments can be claimed at all.
+	res := &Result{}
+	var exhaustedErr error
+	for i := range groups {
+		if err := groupErrs[i]; err != nil {
+			if exhaustedErr == nil {
+				exhaustedErr = err
+			}
+			if len(perGroup[i]) == 0 {
+				return &Result{}, err
+			}
 		}
 		if groupTrunc[i] {
 			res.Truncated = true
@@ -193,16 +287,19 @@ func Solve(s *System, opts Options) (*Result, error) {
 	// share no variables or constraints, so per-group maximalization equals
 	// whole-assignment maximalization at a fraction of the cost, and the
 	// product of per-group-maximal, pairwise-incomparable partials is
-	// itself maximal and duplicate-free.
+	// itself maximal and duplicate-free. Under an exhausted budget this
+	// whole stage degrades to the identity (see maximalizeVars).
 	if !opts.NoMaximalize {
-		maxer := newMaximizer(s)
+		maxer := newMaximizer(s, bud)
 		for gi, sols := range perGroup {
 			perGroup[gi] = maximalizeGroup(maxer, g, groups[gi], sols)
 		}
 	}
 
 	// Stage 3: Cartesian-combine group disjuncts (the worklist's re-queued
-	// branches) on top of the base assignment.
+	// branches) on top of the base assignment. This stage is deliberately
+	// unbudgeted: it is bounded by maxSolutions() map merges, and aborting
+	// mid-merge could expose assignments missing some group's variables.
 	assignments := []Assignment{base}
 	for _, sols := range perGroup {
 		var next []Assignment
@@ -234,18 +331,22 @@ func Solve(s *System, opts Options) (*Result, error) {
 	for _, a := range assignments {
 		for _, lang := range a {
 			if lang.IsEmpty() {
+				if exhaustedErr != nil {
+					return &Result{}, exhaustedErr
+				}
 				return &Result{}, nil
 			}
 		}
 	}
 
 	res.Assignments = assignments
-	return res, nil
+	return res, exhaustedErr
 }
 
 // maximalizeGroup drives one group's disjuncts to maximal fixpoints,
 // deduplicates language-equal results, and drops pointwise-subsumed (hence
-// extendable) disjuncts.
+// extendable) disjuncts. Dedup and pruning degrade under budget exhaustion
+// (possibly keeping redundant disjuncts), never dropping a verified one.
 func maximalizeGroup(maxer *maximizer, g *Graph, group []int, sols []map[int]*nfa.NFA) []map[int]*nfa.NFA {
 	varNames := make([]string, 0, 4)
 	for _, id := range group {
@@ -255,13 +356,16 @@ func maximalizeGroup(maxer *maximizer, g *Graph, group []int, sols []map[int]*nf
 	}
 	seen := map[string]bool{}
 	var out []map[int]*nfa.NFA
-	for _, sol := range sols {
+	for si, sol := range sols {
 		partial := Assignment{}
 		for id, lang := range sol {
 			partial[g.Nodes[id].Name] = lang
 		}
 		ma := maxer.maximalizeVars(partial, varNames)
-		key := ma.Fingerprint(varNames)
+		key, err := ma.FingerprintB(maxer.bud, varNames)
+		if err != nil {
+			key = fmt.Sprintf("!sol%d", si) // keep it: dedup degrades, solutions don't
+		}
 		if seen[key] {
 			continue
 		}
@@ -272,16 +376,26 @@ func maximalizeGroup(maxer *maximizer, g *Graph, group []int, sols []map[int]*nf
 		}
 		out = append(out, back)
 	}
-	return pruneSubsumed(out)
+	return pruneSubsumedB(maxer.bud, out)
 }
 
 // Decide answers the RMA decision problem for the variables of interest:
 // it returns a satisfying assignment covering them with nonempty languages,
 // or nil (with ok=false) when none exists.
 func Decide(s *System, interest []string, opts Options) (Assignment, bool, error) {
-	res, err := Solve(s, opts)
-	if err != nil {
-		return nil, false, err
+	a, ok, _, err := DecideCtx(context.Background(), s, interest, opts)
+	return a, ok, err
+}
+
+// DecideCtx is Decide under a resource budget (see SolveCtx). On exhaustion
+// it returns any satisfying witness found before the trip: a non-nil
+// assignment is trustworthy even when err is non-nil, while ok=false with a
+// non-nil err means "unknown", not "unsat". The returned Usage reports the
+// resources consumed either way.
+func DecideCtx(ctx context.Context, s *System, interest []string, opts Options) (Assignment, bool, budget.Usage, error) {
+	res, err := SolveCtx(ctx, s, opts)
+	if res == nil {
+		res = &Result{}
 	}
 	for _, a := range res.Assignments {
 		good := true
@@ -292,10 +406,10 @@ func Decide(s *System, interest []string, opts Options) (Assignment, bool, error
 			}
 		}
 		if good {
-			return a, true, nil
+			return a, true, res.Usage, err
 		}
 	}
-	return nil, false, nil
+	return nil, false, res.Usage, err
 }
 
 // Witnesses extracts a shortest concrete string per variable from an

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"dprle/internal/core"
+	"dprle/internal/corpus"
+)
+
+// TestSecureRawConstantsUnderBudget is the acceptance check for the
+// resource-governance work: the paper's pathological warp/secure case with
+// raw (uncanonicalized) constants — minutes of solving when unbudgeted —
+// completes promptly under a 2 s per-path deadline. The exhausted paths are
+// recorded, any results that do come back are verified partials, and no
+// solver goroutines leak.
+func TestSecureRawConstantsUnderBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second budget run")
+	}
+	d, ok := corpus.DefectByName("warp/secure")
+	if !ok {
+		t.Fatal("warp/secure defect missing from the corpus")
+	}
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	row, err := RunDefectBudget(d, core.Options{RawConstants: true}, 2*time.Second, 0, 0)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("budgeted run failed outright: %v", err)
+	}
+	if row.ExhaustedPaths == 0 {
+		t.Error("no path recorded a budget trip; the pathological solve should exhaust a 2s deadline")
+	}
+	// A handful of paths, each bounded by 2 s, plus parsing/symexec overhead.
+	if elapsed > 60*time.Second {
+		t.Errorf("budgeted analysis took %v; the deadline is not being honored", elapsed)
+	}
+	if row.SolveStates == 0 {
+		t.Error("SolveStates = 0: budget counters were not propagated")
+	}
+	t.Logf("TS=%v states=%d steps=%d exhausted=%d findings=%d",
+		row.TS, row.SolveStates, row.SolveSteps, row.ExhaustedPaths, row.Findings)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestOrdinaryDefectUnaffectedByBudget checks a fast defect still solves
+// identically when generous budgets are configured.
+func TestOrdinaryDefectUnaffectedByBudget(t *testing.T) {
+	d, ok := corpus.DefectByName("utopia/styles")
+	if !ok {
+		t.Fatal("utopia/styles defect missing from the corpus")
+	}
+	plain, err := RunDefect(d, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := RunDefectBudget(d, core.Options{}, 30*time.Second, 1<<30, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.ExhaustedPaths != 0 {
+		t.Errorf("ExhaustedPaths = %d under generous budgets", budgeted.ExhaustedPaths)
+	}
+	if budgeted.Findings != plain.Findings {
+		t.Errorf("findings changed under budget: %d vs %d", budgeted.Findings, plain.Findings)
+	}
+	if budgeted.SolveStates == 0 || budgeted.SolveSteps == 0 {
+		t.Errorf("budget counters empty: states=%d steps=%d", budgeted.SolveStates, budgeted.SolveSteps)
+	}
+}

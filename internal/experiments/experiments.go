@@ -68,6 +68,12 @@ type Fig12Row struct {
 	TS       time.Duration // measured constraint-solving time
 	Exploit  string        // generated attack input
 	Findings int
+	// Budget counters from the budgeted solves: NFA states materialized,
+	// checkpoints passed, and whether any path's solve was cut short by a
+	// resource budget.
+	SolveStates    int64
+	SolveSteps     int64
+	ExhaustedPaths int
 }
 
 // RunDefect analyzes one defect end to end and reports the measured Figure
@@ -75,6 +81,15 @@ type Fig12Row struct {
 // plus Solve), matching the paper's TS ("total time spent solving
 // constraints").
 func RunDefect(d corpus.Defect, opts core.Options) (Fig12Row, error) {
+	return RunDefectBudget(d, opts, 0, 0, 0)
+}
+
+// RunDefectBudget is RunDefect with per-path solver budgets: a wall-clock
+// deadline per path plus state/step caps (0 = unlimited). Budget-exhausted
+// paths are recorded in the row's ExhaustedPaths instead of failing the
+// run, which makes the pathological warp/secure row measurable under a
+// small deadline.
+func RunDefectBudget(d corpus.Defect, opts core.Options, pathTimeout time.Duration, maxStates, maxSteps int64) (Fig12Row, error) {
 	src, err := corpus.Source(d)
 	if err != nil {
 		return Fig12Row{}, err
@@ -85,13 +100,19 @@ func RunDefect(d corpus.Defect, opts core.Options) (Fig12Row, error) {
 	}
 	cfgc := symexec.DefaultConfig()
 	cfgc.Solver = opts
+	cfgc.PathTimeout = pathTimeout
+	cfgc.MaxStates = maxStates
+	cfgc.MaxSteps = maxSteps
 	start := time.Now()
 	findings, stats, err := symexec.AnalyzeProgram(prog, cfgc)
 	elapsed := time.Since(start)
 	if err != nil {
 		return Fig12Row{}, err
 	}
-	row := Fig12Row{Defect: d, FG: stats.Blocks, C: stats.Constraints, TS: elapsed, Findings: len(findings)}
+	row := Fig12Row{
+		Defect: d, FG: stats.Blocks, C: stats.Constraints, TS: elapsed, Findings: len(findings),
+		SolveStates: stats.SolveStates, SolveSteps: stats.SolveSteps, ExhaustedPaths: stats.ExhaustedPaths,
+	}
 	if len(findings) > 0 {
 		row.Exploit = findings[0].Inputs["POST:"+d.Name+"_id"]
 	}
@@ -102,13 +123,21 @@ func RunDefect(d corpus.Defect, opts core.Options) (Fig12Row, error) {
 // warp/secure case is skipped (it takes minutes by design, reproducing the
 // paper's 577 s row); pass false to measure it too.
 func Figure12(opts core.Options, skipBig bool) ([]Fig12Row, error) {
+	return Figure12Budget(opts, skipBig, 0, 0, 0)
+}
+
+// Figure12Budget is Figure12 under per-path solver budgets (see
+// RunDefectBudget). With a deadline set, the pathological row can be
+// included without the multi-minute wait: its solve trips the budget and
+// the row records the exhaustion instead.
+func Figure12Budget(opts core.Options, skipBig bool, pathTimeout time.Duration, maxStates, maxSteps int64) ([]Fig12Row, error) {
 	var rows []Fig12Row
 	for _, d := range corpus.Defects() {
 		if skipBig && d.Big {
 			rows = append(rows, Fig12Row{Defect: d, FG: -1})
 			continue
 		}
-		row, err := RunDefect(d, opts)
+		row, err := RunDefectBudget(d, opts, pathTimeout, maxStates, maxSteps)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", d.App, d.Name, err)
 		}
@@ -118,23 +147,27 @@ func Figure12(opts core.Options, skipBig bool) ([]Fig12Row, error) {
 }
 
 // FormatFigure12 renders the results table with published and measured
-// values side by side.
+// values side by side, plus the budget counters of each row's solves.
 func FormatFigure12(rows []Fig12Row) string {
 	var b strings.Builder
 	b.WriteString("Figure 12 — per-defect results (published vs. measured)\n")
-	fmt.Fprintf(&b, "%-10s %-10s %13s %11s %12s %12s  %s\n",
-		"App", "Defect", "|FG| pub/meas", "|C| pub/meas", "TS pub (s)", "TS meas (s)", "exploit")
+	fmt.Fprintf(&b, "%-10s %-10s %13s %11s %12s %12s %10s %10s %6s  %s\n",
+		"App", "Defect", "|FG| pub/meas", "|C| pub/meas", "TS pub (s)", "TS meas (s)", "states", "steps", "exh", "exploit")
 	for _, r := range rows {
 		if r.FG < 0 {
-			fmt.Fprintf(&b, "%-10s %-10s %13s %11s %12.3f %12s  %s\n",
-				r.Defect.App, r.Defect.Name, "-", "-", r.Defect.PaperTS, "(skipped)", "")
+			fmt.Fprintf(&b, "%-10s %-10s %13s %11s %12.3f %12s %10s %10s %6s  %s\n",
+				r.Defect.App, r.Defect.Name, "-", "-", r.Defect.PaperTS, "(skipped)", "-", "-", "-", "")
 			continue
 		}
-		fmt.Fprintf(&b, "%-10s %-10s %6d/%-6d %5d/%-5d %12.3f %12.3f  %q\n",
+		exh := "-"
+		if r.ExhaustedPaths > 0 {
+			exh = fmt.Sprintf("%d", r.ExhaustedPaths)
+		}
+		fmt.Fprintf(&b, "%-10s %-10s %6d/%-6d %5d/%-5d %12.3f %12.3f %10d %10d %6s  %q\n",
 			r.Defect.App, r.Defect.Name,
 			r.Defect.WantFG, r.FG,
 			r.Defect.WantC, r.C,
-			r.Defect.PaperTS, r.TS.Seconds(), r.Exploit)
+			r.Defect.PaperTS, r.TS.Seconds(), r.SolveStates, r.SolveSteps, exh, r.Exploit)
 	}
 	return b.String()
 }

@@ -1,0 +1,59 @@
+// Package faultinject deterministically trips resource budgets at chosen
+// points inside the solver pipeline, so tests can prove that every stage
+// unwinds cleanly from exhaustion at any instruction boundary the budget
+// observes. It is always compiled in but costs a single atomic pointer load
+// per probe when disarmed, which keeps production solving unaffected.
+//
+// A test arms a fault at the n-th subsequent occurrence of a point:
+//
+//	defer faultinject.Arm(faultinject.Alloc, 17)()
+//	_, err := core.SolveCtx(ctx, sys, opts) // trips at the 17th allocation
+//
+// The fault fires exactly once; re-arm to fire again.
+package faultinject
+
+import "sync/atomic"
+
+// Point identifies a class of budget probe.
+type Point string
+
+// The probe classes the budget package consults.
+const (
+	// Alloc fires inside Budget.AddStates — the NFA state-materialization
+	// accounting of the product, subset, and quotient constructions.
+	Alloc Point = "alloc"
+	// Checkpoint fires inside Budget.Check — the coarse cancellation
+	// checkpoints at solver loop heads.
+	Checkpoint Point = "checkpoint"
+)
+
+type plan struct {
+	point Point
+	n     atomic.Int64 // countdown to the firing occurrence
+}
+
+var active atomic.Pointer[plan]
+
+// Arm schedules a fault at the n-th (1-based) subsequent occurrence of
+// point, replacing any previously armed fault. It returns a disarm function
+// suitable for defer. Arming is global process state: tests that arm faults
+// must not run in parallel with each other.
+func Arm(point Point, n int64) func() {
+	p := &plan{point: point}
+	p.n.Store(n)
+	active.Store(p)
+	return func() { active.CompareAndSwap(p, nil) }
+}
+
+// Fire reports whether an armed fault fires at this occurrence of point.
+// It returns true exactly once per Arm call.
+func Fire(point Point) bool {
+	p := active.Load()
+	if p == nil || p.point != point {
+		return false
+	}
+	return p.n.Add(-1) == 0
+}
+
+// Armed reports whether a fault plan is currently armed (fired or not).
+func Armed() bool { return active.Load() != nil }

@@ -1,0 +1,71 @@
+package faultinject
+
+import "testing"
+
+func TestFireCountsDownAndFiresOnce(t *testing.T) {
+	disarm := Arm(Checkpoint, 3)
+	defer disarm()
+	for i := 1; i <= 2; i++ {
+		if Fire(Checkpoint) {
+			t.Fatalf("fired at occurrence %d, want 3", i)
+		}
+	}
+	if !Fire(Checkpoint) {
+		t.Fatal("did not fire at the 3rd occurrence")
+	}
+	for i := 0; i < 5; i++ {
+		if Fire(Checkpoint) {
+			t.Fatal("fired more than once")
+		}
+	}
+}
+
+func TestFireIgnoresOtherPoints(t *testing.T) {
+	disarm := Arm(Alloc, 1)
+	defer disarm()
+	if Fire(Checkpoint) {
+		t.Fatal("checkpoint probe fired an alloc fault")
+	}
+	if !Fire(Alloc) {
+		t.Fatal("alloc fault did not fire")
+	}
+}
+
+func TestDisarmRemovesPlan(t *testing.T) {
+	disarm := Arm(Alloc, 1)
+	if !Armed() {
+		t.Fatal("not armed after Arm")
+	}
+	disarm()
+	if Armed() {
+		t.Fatal("still armed after disarm")
+	}
+	if Fire(Alloc) {
+		t.Fatal("fired after disarm")
+	}
+}
+
+func TestRearmReplacesPlan(t *testing.T) {
+	Arm(Alloc, 5)
+	disarm := Arm(Checkpoint, 1)
+	defer disarm()
+	if Fire(Alloc) {
+		t.Fatal("replaced plan still fires")
+	}
+	if !Fire(Checkpoint) {
+		t.Fatal("new plan does not fire")
+	}
+}
+
+func TestDisarmOnlyRemovesOwnPlan(t *testing.T) {
+	old := Arm(Alloc, 1)
+	disarm := Arm(Checkpoint, 1)
+	old() // stale disarm must not clear the newer plan
+	if !Armed() {
+		t.Fatal("stale disarm cleared a newer plan")
+	}
+	disarm()
+	if Armed() {
+		t.Fatal("still armed")
+	}
+}

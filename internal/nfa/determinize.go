@@ -3,6 +3,8 @@ package nfa
 import (
 	"fmt"
 	"strings"
+
+	"dprle/internal/budget"
 )
 
 // DFA is a deterministic, complete automaton over alphabet atoms. Each state
@@ -51,6 +53,17 @@ func (d *DFA) Accepts(w string) bool {
 // Determinize applies the subset construction to m, producing a complete
 // DFA over the atom partition induced by m's edge labels.
 func Determinize(m *NFA) *DFA {
+	d, _ := DeterminizeB(nil, m)
+	return d
+}
+
+// DeterminizeB is Determinize under a resource budget: each DFA state the
+// subset construction materializes is accounted against bud, and the
+// construction aborts with the budget's *Exhausted error when the budget
+// trips. Determinization is the solver's worst-case-exponential step (the
+// complement-based subset and maximality machinery all route through it),
+// so this is where state caps bite first.
+func DeterminizeB(bud *budget.Budget, m *NFA) (*DFA, error) {
 	atoms := Partition(m.allLabels())
 	// Represent subsets canonically as sorted state-id strings.
 	key := func(set []bool) string {
@@ -81,6 +94,11 @@ func Determinize(m *NFA) *DFA {
 	}
 	add(start)
 	for qi := 0; qi < len(sets); qi++ {
+		// One probe per expanded DFA state: m.step below is O(|m| · edges),
+		// so this also bounds the time between context polls.
+		if err := bud.AddStates(1, "nfa.determinize"); err != nil {
+			return nil, err
+		}
 		cur := sets[qi]
 		for ai, atom := range atoms {
 			// All bytes within an atom behave identically, so step on the
@@ -93,7 +111,7 @@ func Determinize(m *NFA) *DFA {
 			trans[qi][ai] = add(next)
 		}
 	}
-	return &DFA{atoms: atoms, trans: trans, accept: accept, start: 0}
+	return &DFA{atoms: atoms, trans: trans, accept: accept, start: 0}, nil
 }
 
 // Complement returns a DFA recognizing Σ* \ L(d).
@@ -129,6 +147,13 @@ func (d *DFA) IsEmpty() bool {
 // Minimize returns the canonical minimal DFA for L(d), computed by Moore's
 // partition-refinement algorithm over the DFA's atom classes.
 func (d *DFA) Minimize() *DFA {
+	m, _ := d.MinimizeB(nil)
+	return m
+}
+
+// MinimizeB is Minimize under a resource budget, checkpointing once per
+// refinement round (each round is O(states · atoms)).
+func (d *DFA) MinimizeB(bud *budget.Budget) (*DFA, error) {
 	n := d.NumStates()
 	// Initial partition: accepting vs non-accepting.
 	class := make([]int, n)
@@ -148,6 +173,9 @@ func (d *DFA) Minimize() *DFA {
 		}
 	}
 	for {
+		if err := bud.Check("nfa.minimize"); err != nil {
+			return nil, err
+		}
 		// Signature of a state: (class, successor classes per atom).
 		sig := make([]string, n)
 		for s := 0; s < n; s++ {
@@ -190,7 +218,7 @@ func (d *DFA) Minimize() *DFA {
 		trans[c] = row
 		accept[c] = d.accept[s]
 	}
-	return &DFA{atoms: d.atoms, trans: trans, accept: accept, start: class[d.start]}
+	return &DFA{atoms: d.atoms, trans: trans, accept: accept, start: class[d.start]}, nil
 }
 
 // ToNFA converts d back to a (single-start, single-final) NFA, introducing a
@@ -215,10 +243,33 @@ func Complement(m *NFA) *NFA {
 	return Determinize(m).Complement().ToNFA()
 }
 
+// ComplementB is Complement under a resource budget (the determinization it
+// routes through is the expensive part).
+func ComplementB(bud *budget.Budget, m *NFA) (*NFA, error) {
+	d, err := DeterminizeB(bud, m)
+	if err != nil {
+		return nil, err
+	}
+	return d.Complement().ToNFA(), nil
+}
+
 // Minimized returns an equivalent NFA with the minimal deterministic state
 // count. The paper notes (§4) that applying minimization to intermediate
 // machines can improve the pathological cases; the solver exposes this as an
 // option.
 func Minimized(m *NFA) *NFA {
 	return Determinize(m).Minimize().ToNFA()
+}
+
+// MinimizedB is Minimized under a resource budget.
+func MinimizedB(bud *budget.Budget, m *NFA) (*NFA, error) {
+	d, err := DeterminizeB(bud, m)
+	if err != nil {
+		return nil, err
+	}
+	md, err := d.MinimizeB(bud)
+	if err != nil {
+		return nil, err
+	}
+	return md.ToNFA(), nil
 }

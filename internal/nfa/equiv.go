@@ -3,11 +3,28 @@ package nfa
 import (
 	"fmt"
 	"strings"
+
+	"dprle/internal/budget"
 )
 
 // Subset reports whether L(a) ⊆ L(b), decided as L(a) ∩ (Σ* \ L(b)) = ∅.
 func Subset(a, b *NFA) bool {
-	return Intersect(a, Complement(b)).IsEmpty()
+	ok, _ := SubsetB(nil, a, b)
+	return ok
+}
+
+// SubsetB is Subset under a resource budget: the complement
+// (determinization) and the product are both accounted against bud.
+func SubsetB(bud *budget.Budget, a, b *NFA) (bool, error) {
+	nb, err := ComplementB(bud, b)
+	if err != nil {
+		return false, err
+	}
+	m, err := IntersectB(bud, a, nb)
+	if err != nil {
+		return false, err
+	}
+	return m.IsEmpty(), nil
 }
 
 // Equivalent reports whether L(a) = L(b).
@@ -27,7 +44,21 @@ func ProperSubset(a, b *NFA) bool {
 // runs so the result is independent of how edge labels were partitioned.
 // The solver uses fingerprints to deduplicate disjunctive assignments.
 func Fingerprint(m *NFA) string {
-	d := Determinize(m).Minimize()
+	fp, _ := FingerprintB(nil, m)
+	return fp
+}
+
+// FingerprintB is Fingerprint under a resource budget: the canonicalizing
+// determinization + minimization is accounted against bud.
+func FingerprintB(bud *budget.Budget, m *NFA) (string, error) {
+	dd, err := DeterminizeB(bud, m)
+	if err != nil {
+		return "", err
+	}
+	d, err := dd.MinimizeB(bud)
+	if err != nil {
+		return "", err
+	}
 	// succ[s][c] = successor of s on byte c.
 	succ := make([][256]int, d.NumStates())
 	for s := 0; s < d.NumStates(); s++ {
@@ -68,5 +99,5 @@ func Fingerprint(m *NFA) string {
 		}
 		b.WriteByte('|')
 	}
-	return b.String()
+	return b.String(), nil
 }

@@ -1,5 +1,7 @@
 package nfa
 
+import "dprle/internal/budget"
+
 // Intersect implements the cross-product construction of paper Fig. 3
 // (lines 7–8): the returned machine recognizes L(a) ∩ L(b). Both operands may
 // contain ε-transitions; ε-moves advance one side at a time (the standard
@@ -10,6 +12,16 @@ package nfa
 //
 // Only product states reachable from the product start are materialized.
 func Intersect(a, b *NFA) *NFA {
+	m, _ := IntersectB(nil, a, b)
+	return m
+}
+
+// IntersectB is Intersect under a resource budget: every materialized
+// product state is accounted against bud, and the construction aborts with
+// the budget's *Exhausted error as soon as the budget trips. The product is
+// the solver's worst-case-quadratic (and, chained, exponential) step, so
+// this is the primary interruption point for deadlines and state caps.
+func IntersectB(bud *budget.Budget, a, b *NFA) (*NFA, error) {
 	type pair struct{ pa, pb int }
 	idx := map[pair]int{}
 	bl := NewBuilder()
@@ -25,6 +37,11 @@ func Intersect(a, b *NFA) *NFA {
 	}
 	start := get(pair{a.start, b.start})
 	for qi := 0; qi < len(order); qi++ {
+		// One probe per expanded product state bounds both the state count
+		// and the time between context polls.
+		if err := bud.AddStates(1, "nfa.intersect"); err != nil {
+			return nil, err
+		}
 		p := order[qi]
 		id := idx[p]
 		// Character moves: both sides advance on a common byte class.
@@ -63,20 +80,30 @@ func Intersect(a, b *NFA) *NFA {
 		fid = bl.AddState()
 	}
 	m := bl.Build(start, fid)
-	return m
+	return m, nil
 }
 
 // IntersectAll intersects all given machines left to right.
 // IntersectAll() is Σ*.
 func IntersectAll(ms ...*NFA) *NFA {
+	m, _ := IntersectAllB(nil, ms...)
+	return m
+}
+
+// IntersectAllB is IntersectAll under a resource budget.
+func IntersectAllB(bud *budget.Budget, ms ...*NFA) (*NFA, error) {
 	if len(ms) == 0 {
-		return AnyString()
+		return AnyString(), nil
 	}
 	out := ms[0]
 	for _, m := range ms[1:] {
-		out = Intersect(out, m)
+		next, err := IntersectB(bud, out, m)
+		if err != nil {
+			return nil, err
+		}
+		out = next
 	}
-	return out
+	return out, nil
 }
 
 // ProductStatesVisited returns the number of product states the intersection

@@ -1,5 +1,7 @@
 package nfa
 
+import "dprle/internal/budget"
+
 // Quotient constructions. These are not part of the paper's core algorithm,
 // but they give an independent characterization of maximality (§3.1,
 // condition 2): for a constraint A·v·B ⊆ C, the largest admissible language
@@ -8,10 +10,20 @@ package nfa
 
 // LeftQuotient returns A⁻¹X = { w | ∃a ∈ L(a): aw ∈ L(x) }.
 func LeftQuotient(a, x *NFA) *NFA {
+	m, _ := LeftQuotientB(nil, a, x)
+	return m
+}
+
+// LeftQuotientB is LeftQuotient under a resource budget: the product-state
+// exploration is accounted per visited pair.
+func LeftQuotientB(bud *budget.Budget, a, x *NFA) (*NFA, error) {
 	// A state q of x can begin the suffix iff some string of L(a) drives x
 	// from its start to q. Compute the reachable product states of (a, x);
 	// every x-state paired with a's final state is a valid entry point.
-	entry := jointlyReachable(a, x, true)
+	entry, err := jointlyReachable(bud, a, x, true)
+	if err != nil {
+		return nil, err
+	}
 	bl := NewBuilder()
 	s := bl.AddState()
 	off := appendMachine(bl, x)
@@ -20,19 +32,30 @@ func LeftQuotient(a, x *NFA) *NFA {
 			bl.AddEps(s, off+q)
 		}
 	}
-	return bl.Build(s, off+x.final).Trim()
+	return bl.Build(s, off+x.final).Trim(), nil
 }
 
 // RightQuotient returns XB⁻¹ = { w | ∃b ∈ L(b): wb ∈ L(x) }.
 func RightQuotient(x, b *NFA) *NFA {
+	m, _ := RightQuotientB(nil, x, b)
+	return m
+}
+
+// RightQuotientB is RightQuotient under a resource budget.
+func RightQuotientB(bud *budget.Budget, x, b *NFA) (*NFA, error) {
 	// Symmetric to LeftQuotient via reversal.
-	return Reverse(LeftQuotient(Reverse(b), Reverse(x))).Trim()
+	lq, err := LeftQuotientB(bud, Reverse(b), Reverse(x))
+	if err != nil {
+		return nil, err
+	}
+	return Reverse(lq).Trim(), nil
 }
 
 // jointlyReachable explores the product of a and x from their joint start
 // and returns, per x-state, whether the pair (a.final, xState) is reachable
 // (requireAFinal=true) or whether any pair with that x-state is reachable.
-func jointlyReachable(a, x *NFA, requireAFinal bool) []bool {
+// Visited product pairs are accounted against bud.
+func jointlyReachable(bud *budget.Budget, a, x *NFA, requireAFinal bool) ([]bool, error) {
 	type pair struct{ pa, px int }
 	seen := map[pair]bool{}
 	out := make([]bool, x.NumStates())
@@ -45,6 +68,9 @@ func jointlyReachable(a, x *NFA, requireAFinal bool) []bool {
 	}
 	push(pair{a.start, x.start})
 	for len(stack) > 0 {
+		if err := bud.AddStates(1, "nfa.quotient"); err != nil {
+			return nil, err
+		}
 		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if !requireAFinal || p.pa == a.final {
@@ -64,7 +90,7 @@ func jointlyReachable(a, x *NFA, requireAFinal bool) []bool {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // MaxMiddle returns the largest language M with L(a)·M·L(b) ⊆ L(c),
@@ -77,5 +103,25 @@ func MaxMiddle(a, b, c *NFA) *NFA {
 // callers that probe many (a, b) pairs against one constant amortize the
 // determinization.
 func MaxMiddleNot(a, b, notC *NFA) *NFA {
-	return Complement(RightQuotient(LeftQuotient(a, notC), b)).Trim()
+	m, _ := MaxMiddleNotB(nil, a, b, notC)
+	return m
+}
+
+// MaxMiddleNotB is MaxMiddleNot under a resource budget. The chain contains
+// two quotient explorations and a complement (which determinizes), all of
+// which are accounted.
+func MaxMiddleNotB(bud *budget.Budget, a, b, notC *NFA) (*NFA, error) {
+	lq, err := LeftQuotientB(bud, a, notC)
+	if err != nil {
+		return nil, err
+	}
+	rq, err := RightQuotientB(bud, lq, b)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := ComplementB(bud, rq)
+	if err != nil {
+		return nil, err
+	}
+	return comp.Trim(), nil
 }

@@ -1,10 +1,14 @@
 package symexec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
+	"dprle/internal/budget"
 	"dprle/internal/cfg"
 	"dprle/internal/core"
 	"dprle/internal/lang"
@@ -54,6 +58,17 @@ type Config struct {
 	// mirroring the paper's "we attempt to find inputs for the first
 	// vulnerability in each file".
 	FirstPerSink bool
+	// PathTimeout bounds the wall-clock spent solving any single path's
+	// constraint system. A path whose solve exhausts the budget is counted
+	// in AnalysisStats.ExhaustedPaths and skipped (unless the solver found
+	// a verified witness before the trip, which is still used); the
+	// analysis then continues with the remaining paths instead of hanging
+	// on one pathological system. 0 means no per-path deadline.
+	PathTimeout time.Duration
+	// MaxStates/MaxSteps cap the solver resources per path (see
+	// core.Options.Limits). 0 means unlimited.
+	MaxStates int64
+	MaxSteps  int64
 }
 
 // DefaultConfig returns the configuration the experiments use: the paper's
@@ -63,11 +78,19 @@ func DefaultConfig() Config {
 }
 
 // AnalysisStats aggregates metrics across all analyzed paths of a program,
-// matching Figure 12's reporting: |FG| basic blocks and |C| constraints.
+// matching Figure 12's reporting: |FG| basic blocks and |C| constraints,
+// plus the resource counters of the budgeted solves.
 type AnalysisStats struct {
 	Blocks      int // |FG|
 	Paths       int
 	Constraints int // |C|: constraints generated along the solved paths
+	// SolveStates/SolveSteps total the solver's resource counters across
+	// all per-path solves.
+	SolveStates int64
+	SolveSteps  int64
+	// ExhaustedPaths counts paths whose solve tripped a resource budget
+	// (the analysis degraded by skipping or truncating them).
+	ExhaustedPaths int
 }
 
 // AnalyzeProgram symbolically executes every path to a sink, solves the
@@ -97,9 +120,22 @@ func AnalyzeProgram(prog *lang.Program, cfgc Config) ([]Finding, AnalysisStats, 
 		if len(ps.Inputs) == 0 {
 			continue // no attacker-controlled data reaches the sink
 		}
-		assignment, ok, err := core.Decide(ps.Sys, ps.Inputs, cfgc.Solver)
+		assignment, ok, usage, err := decidePath(ps, cfgc)
+		stats.SolveStates += usage.States
+		stats.SolveSteps += usage.Steps
 		if err != nil {
-			return nil, stats, err
+			var ex *budget.Exhausted
+			if errors.As(err, &ex) {
+				// This path's solve ran out of budget. A witness found
+				// before the trip is verified and still usable; otherwise
+				// the path is skipped and the analysis moves on.
+				stats.ExhaustedPaths++
+				if !ok {
+					continue
+				}
+			} else {
+				return nil, stats, err
+			}
 		}
 		if !ok {
 			continue // path infeasible or not exploitable
@@ -119,6 +155,21 @@ func AnalyzeProgram(prog *lang.Program, cfgc Config) ([]Finding, AnalysisStats, 
 		done[p.Line] = true
 	}
 	return findings, stats, nil
+}
+
+// decidePath runs the budgeted decision procedure for one path's constraint
+// system, giving each path its own deadline so one pathological system
+// cannot consume the whole analysis.
+func decidePath(ps *PathSystem, cfgc Config) (core.Assignment, bool, budget.Usage, error) {
+	ctx := context.Background()
+	if cfgc.PathTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfgc.PathTimeout)
+		defer cancel()
+	}
+	opts := cfgc.Solver
+	opts.Limits = budget.Limits{MaxStates: cfgc.MaxStates, MaxSteps: cfgc.MaxSteps}
+	return core.DecideCtx(ctx, ps.Sys, ps.Inputs, opts)
 }
 
 // AnalyzeSource parses and analyzes a PHP-subset source file.
