@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test lint fix fmt cover bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Static analysis: go vet plus the repo-specific invariant suite
+# (DESIGN.md §7). Both exit non-zero on findings, failing the build.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/dprlelint ./...
+
+# Apply dprlelint's suggested fixes (sorted-map-iteration rewrites).
+fix:
+	$(GO) run ./cmd/dprlelint -fix ./...
+
+fmt:
+	gofmt -l -w .
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

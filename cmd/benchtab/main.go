@@ -12,6 +12,7 @@
 //
 // Each fig12 row also reports the solver's budget counters (NFA states
 // materialized, checkpoints passed, exhausted paths).
+//
 //	benchtab -table complexity   the §3.5 complexity sweeps
 //	benchtab -table all          everything (without -full, secure is skipped)
 //

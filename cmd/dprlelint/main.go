@@ -1,0 +1,221 @@
+// Command dprlelint runs the project's static-analysis suite (see
+// internal/analyzers) over the module's packages, in the style of a
+// go/analysis multichecker:
+//
+//	go run ./cmd/dprlelint ./...          # whole module
+//	go run ./cmd/dprlelint ./internal/nfa # one package
+//	dprlelint -only budgetcheck ./...     # a subset of analyzers
+//	dprlelint -json ./...                 # machine-readable findings
+//	dprlelint -fix ./...                  # apply suggested fixes in place
+//
+// Exit status: 0 no findings, 1 findings reported, 2 usage or load error.
+// Findings are suppressed by //lint:ignore dprlelint/<analyzer> <reason>
+// directives on the flagged line or the line above; the reason is
+// mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dprle/internal/analysis"
+	"dprle/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("dprlelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fix := fs.Bool("fix", false, "apply suggested fixes to the source files")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: dprlelint [-json] [-fix] [-only name,...] packages...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		if len(keep) > 0 {
+			unknown := make([]string, 0, len(keep))
+			for name := range keep {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(stderr, "dprlelint: unknown analyzers: %s\n", strings.Join(unknown, ", "))
+			return 2
+		}
+		suite = sel
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "dprlelint: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "dprlelint: %v\n", err)
+		return 2
+	}
+	paths, err := expandPatterns(loader, root, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "dprlelint: %v\n", err)
+		return 2
+	}
+
+	var all []analysis.Finding
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "dprlelint: %v\n", err)
+			return 2
+		}
+		findings, err := analysis.Run(pkg, loader.Fset, suite)
+		if err != nil {
+			fmt.Fprintf(stderr, "dprlelint: %v\n", err)
+			return 2
+		}
+		if *fix && len(findings) > 0 {
+			fixed, err := analysis.ApplyFixes(loader.Fset, pkg.Sources, findings)
+			if err != nil {
+				fmt.Fprintf(stderr, "dprlelint: %v\n", err)
+				return 2
+			}
+			names := make([]string, 0, len(fixed))
+			for name := range fixed {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				if err := os.WriteFile(name, fixed[name], 0o644); err != nil {
+					fmt.Fprintf(stderr, "dprlelint: %v\n", err)
+					return 2
+				}
+				fmt.Fprintf(stderr, "dprlelint: rewrote %s\n", name)
+			}
+		}
+		all = append(all, findings...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(stderr, "dprlelint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range all {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(all) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves command-line package patterns ("./...", "./x",
+// import paths) against the module.
+func expandPatterns(loader *analysis.Loader, root string, patterns []string) ([]string, error) {
+	mod := loader.ModulePath()
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "..." || pat == mod+"/...":
+			all, err := loader.ModulePackages()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range all {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix := strings.TrimSuffix(pat, "/...")
+			prefix = strings.TrimPrefix(prefix, "./")
+			all, err := loader.ModulePackages()
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			for _, p := range all {
+				rel := strings.TrimPrefix(p, mod+"/")
+				if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+					add(p)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("pattern %q matches no packages", pat)
+			}
+		case pat == ".":
+			add(mod)
+		case strings.HasPrefix(pat, "./"):
+			add(mod + "/" + filepath.ToSlash(strings.TrimPrefix(pat, "./")))
+		default:
+			add(pat)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"dprle/internal/analysis"
+	"dprle/internal/analyzers"
+)
+
+// repoRoot locates the module root from this test file's position, so the
+// test is independent of the working directory go test chooses.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test file")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// TestRepoClean is the acceptance gate: the full analyzer suite reports
+// nothing on the repository itself. Any new finding is either a real bug
+// (fix it) or a deliberate exception (//lint:ignore with a reason).
+func TestRepoClean(t *testing.T) {
+	root := repoRoot(t)
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("suspiciously few packages found (%d): %v", len(paths), paths)
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		findings, err := analysis.Run(pkg, loader.Fset, analyzers.All())
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", path, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// TestUnbudgetedDeterminizeFails proves the lint gate catches the
+// regression the suite exists for: re-introducing an un-budgeted
+// Determinize call inside a budgeted path must produce a finding (and
+// therefore a non-zero dprlelint exit, failing CI).
+func TestUnbudgetedDeterminizeFails(t *testing.T) {
+	loader := analysis.NewSourceLoader(filepath.Join("testdata", "src"))
+	pkg, err := loader.Load("regress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(pkg, loader.Fset, analyzers.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Analyzer == "budgetcheck" && strings.Contains(f.Message, "un-budgeted Determinize") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a budgetcheck finding for un-budgeted Determinize, got %v", findings)
+	}
+}
+
+// TestExpandPatterns pins the CLI's pattern handling.
+func TestExpandPatterns(t *testing.T) {
+	root := repoRoot(t)
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := expandPatterns(loader, root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"dprle":                   false,
+		"dprle/internal/nfa":      false,
+		"dprle/cmd/dprlelint":     false,
+		"dprle/internal/analysis": false,
+	}
+	for _, p := range all {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("pattern ./... did not match %s (got %v)", p, all)
+		}
+	}
+	sub, err := expandPatterns(loader, root, []string{"./internal/nfa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 1 || sub[0] != "dprle/internal/nfa" {
+		t.Errorf("expandPatterns(./internal/nfa) = %v", sub)
+	}
+	tree, err := expandPatterns(loader, root, []string{"./internal/analyzers/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree) < 5 {
+		t.Errorf("expandPatterns(./internal/analyzers/...) = %v, want the analyzer packages", tree)
+	}
+}

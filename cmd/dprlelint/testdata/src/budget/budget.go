@@ -1,0 +1,18 @@
+// Package budget is a minimal stand-in for dprle/internal/budget, used by
+// the regression fixture.
+package budget
+
+import "errors"
+
+type Budget struct{ remaining int64 }
+
+func (b *Budget) AddStates(n int64, stage string) error {
+	if b == nil {
+		return nil
+	}
+	b.remaining -= n
+	if b.remaining < 0 {
+		return errors.New("exhausted: " + stage)
+	}
+	return nil
+}

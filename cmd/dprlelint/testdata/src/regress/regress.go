@@ -1,0 +1,14 @@
+// Package regress deliberately re-introduces the bug class PR 1 removed:
+// an un-budgeted Determinize call inside a budgeted solver path. The
+// multichecker test asserts dprlelint fails on it, which is what keeps the
+// CI lint gate meaningful.
+package regress
+
+import (
+	"budget"
+	"nfa"
+)
+
+func SolveB(bud *budget.Budget, m *nfa.NFA) (*nfa.DFA, error) {
+	return nfa.Determinize(m), nil // budgetcheck must flag this line
+}

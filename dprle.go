@@ -19,7 +19,9 @@ type Expr struct {
 // V references the language variable with the given name.
 func V(name string) Expr { return Expr{e: core.Var{Name: name}} }
 
-// Concat concatenates expressions left to right.
+// Concat concatenates expressions left to right. It panics on an empty
+// argument list: there is no neutral expression to return, and a
+// zero-argument concat is always a programming error at the call site.
 func Concat(exprs ...Expr) Expr {
 	if len(exprs) == 0 {
 		panic("dprle: Concat of no expressions")

@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"dprle/webcheck"
 )
@@ -40,7 +41,13 @@ func main() {
 	}
 	for _, f := range report.Findings {
 		fmt.Println(f)
-		for input, value := range f.Inputs {
+		keys := make([]string, 0, len(f.Inputs))
+		for input := range f.Inputs {
+			keys = append(keys, input)
+		}
+		sort.Strings(keys)
+		for _, input := range keys {
+			value := f.Inputs[input]
 			fmt.Printf("  set %s to %q and the query is subverted\n", input, value)
 		}
 	}

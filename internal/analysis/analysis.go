@@ -1,0 +1,72 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports position-anchored
+// Diagnostics, optionally carrying mechanical SuggestedFixes.
+//
+// The repository cannot vendor x/tools (no module downloads in the build
+// environment), so this package provides the same shape on the standard
+// library alone: go/parser + go/types for loading (see Loader), an
+// analysistest-style fixture harness (see the analysistest subpackage), and
+// a multichecker driver (cmd/dprlelint). Analyzers written against this
+// package keep the upstream structure — Name, Doc, Run(*Pass) — so they can
+// be ported to the real framework mechanically if x/tools becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static-analysis pass. Name is the identifier used in
+// diagnostics and in //lint:ignore dprlelint/<name> suppression directives.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass presents one package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Sources maps file names (as recorded in Fset) to their raw bytes,
+	// for analyzers that build suggested fixes from source text.
+	Sources map[string][]byte
+
+	report func(Diagnostic)
+}
+
+// Report records a diagnostic against the package under analysis.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf is a convenience wrapper for Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos            token.Pos
+	End            token.Pos // optional
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is a mechanical rewrite that resolves a diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText.
+// Pos == End expresses a pure insertion.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

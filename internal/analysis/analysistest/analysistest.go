@@ -1,0 +1,178 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against // want "regexp" comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract on the standard
+// library alone.
+//
+// Fixtures live under <testdata>/src/<importpath>; a fixture package may
+// import sibling fixture packages by their path relative to src (e.g. a
+// fake "budget" package). Expected diagnostics are written as trailing
+// line comments on the offending line:
+//
+//	m, _ := IntersectB(bud, a, b) // want `error result .* discarded`
+//
+// Each string after "want" is a regexp that must match the message of a
+// diagnostic reported on that line; every reported diagnostic must be
+// matched by exactly one such expectation.
+package analysistest
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dprle/internal/analysis"
+)
+
+// Run loads each fixture package from dir/src/<path>, applies the analyzer,
+// and reports mismatches between diagnostics and want comments on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		runOne(t, dir, a, path, false)
+	}
+}
+
+// RunWithSuggestedFixes is Run plus golden-file checking: after verifying
+// diagnostics, it applies every suggested fix and compares the result of
+// each rewritten file F against F+".golden".
+func RunWithSuggestedFixes(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		runOne(t, dir, a, path, true)
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, path string, fixes bool) {
+	t.Helper()
+	loader := analysis.NewSourceLoader(filepath.Join(dir, "src"))
+	pkg, err := loader.Load(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	findings, err := analysis.Run(pkg, loader.Fset, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, path, err)
+	}
+	checkWants(t, loader, pkg, findings)
+	if fixes {
+		checkGolden(t, loader, pkg, findings)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkWants(t *testing.T, loader *analysis.Loader, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				patterns, err := parsePatterns(rest)
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parsePatterns splits `"p1" "p2"` or backquoted forms into pattern strings.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("expected quoted regexp, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		tok := s[:end+2]
+		p, err := strconv.Unquote(tok)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", tok, err)
+		}
+		out = append(out, p)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}
+
+func checkGolden(t *testing.T, loader *analysis.Loader, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	fixed, err := analysis.ApplyFixes(loader.Fset, pkg.Sources, findings)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	for name, got := range fixed {
+		goldenName := name + ".golden"
+		wantSrc, err := os.ReadFile(goldenName)
+		if err != nil {
+			t.Errorf("missing golden file for fixed %s: %v", name, err)
+			continue
+		}
+		wantFmt, err := format.Source(wantSrc)
+		if err != nil {
+			t.Fatalf("golden %s does not parse: %v", goldenName, err)
+		}
+		if string(got) != string(wantFmt) {
+			t.Errorf("fixed %s differs from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, wantFmt)
+		}
+	}
+	// Every golden file must correspond to a file some fix rewrote.
+	for _, f := range pkg.Files {
+		name := loader.Fset.Position(f.Pos()).Filename
+		if _, err := os.Stat(name + ".golden"); err == nil {
+			if _, ok := fixed[name]; !ok {
+				t.Errorf("%s.golden exists but no fix rewrote %s", name, name)
+			}
+		}
+	}
+}

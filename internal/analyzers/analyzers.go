@@ -1,0 +1,23 @@
+// Package analyzers registers the dprlelint static-analysis suite: the
+// project-specific passes that turn the solver's coding conventions
+// (budget threading, deterministic iteration, panic-free API, context
+// propagation) into machine-checked invariants. See DESIGN.md §7.
+package analyzers
+
+import (
+	"dprle/internal/analysis"
+	"dprle/internal/analyzers/budgetcheck"
+	"dprle/internal/analyzers/ctxbudget"
+	"dprle/internal/analyzers/mapiterorder"
+	"dprle/internal/analyzers/panicguard"
+)
+
+// All returns every analyzer in the suite, sorted by name.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		budgetcheck.Analyzer,
+		ctxbudget.Analyzer,
+		mapiterorder.Analyzer,
+		panicguard.Analyzer,
+	}
+}

@@ -1,0 +1,126 @@
+// Package budgetcheck enforces the solver's resource-budget discipline
+// (PR 1): inside a budget-threaded function, every construction that has a
+// budgeted *B variant must go through it, and the error a *B variant
+// returns must not be silently discarded — except under the nil-budget
+// contract, where it provably cannot be non-nil.
+package budgetcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dprle/internal/analysis"
+	"dprle/internal/analyzers/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "budgetcheck",
+	Doc: `check that budget-threaded code stays budgeted
+
+Two rules:
+
+R1 — inside a function that has access to a *budget.Budget (a budget
+parameter, or a method whose receiver carries a budget field), a call to a
+function F is flagged when a budgeted sibling FB(bud, ...) exists. Calling
+the un-budgeted form silently re-opens the worst-case-exponential
+constructions (determinization, products) the budget exists to bound.
+
+R2 — the error result of a *B call must be used. Discarding it (via _, a
+bare expression statement, go, or defer) is flagged unless the budget
+argument is the literal nil: a nil *budget.Budget is inert by contract
+(every method returns nil immediately), so a nil-budget call cannot fail,
+and the un-budgeted wrappers (nfa.Intersect over nfa.IntersectB) rely on
+exactly that.
+
+Suppress with //lint:ignore dprlelint/budgetcheck <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	budgeted := lintutil.IsBudgetThreaded(pass.TypesInfo, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if budgeted {
+				checkUnbudgetedCall(pass, n)
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkDiscardedError(pass, call, nil)
+			}
+		case *ast.GoStmt:
+			checkDiscardedError(pass, n.Call, nil)
+		case *ast.DeferStmt:
+			checkDiscardedError(pass, n.Call, nil)
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+					checkDiscardedError(pass, call, n.Lhs)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkUnbudgetedCall implements R1.
+func checkUnbudgetedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	callee := lintutil.Callee(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	sib := lintutil.BudgetedSibling(callee)
+	if sib == nil {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call to un-budgeted %s inside a budget-threaded function; use %s and pass the budget through",
+		callee.Name(), sib.Name())
+}
+
+// checkDiscardedError implements R2. lhs is nil when the call's results
+// are discarded wholesale (expression statement, go, defer); otherwise it
+// is the assignment's left-hand side.
+func checkDiscardedError(pass *analysis.Pass, call *ast.CallExpr, lhs []ast.Expr) {
+	callee := lintutil.Callee(pass.TypesInfo, call)
+	if callee == nil || !lintutil.IsBudgetedVariant(callee) {
+		return
+	}
+	sig := callee.Type().(*types.Signature)
+	nres := sig.Results().Len()
+	discarded := false
+	switch {
+	case lhs == nil:
+		discarded = true
+	case len(lhs) == nres:
+		// The error is the last result by the *B convention.
+		if id, ok := lhs[nres-1].(*ast.Ident); ok && id.Name == "_" {
+			discarded = true
+		}
+	}
+	if !discarded {
+		return
+	}
+	// Nil-budget contract: a literal-nil budget argument cannot trip, so
+	// its error is statically nil and safe to drop (the un-budgeted
+	// wrapper pattern).
+	if len(call.Args) > 0 && lintutil.IsNilIdent(pass.TypesInfo, call.Args[0]) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error result of %s is discarded; a non-nil budget can trip mid-construction (only a literal nil budget cannot fail)",
+		callee.Name())
+}

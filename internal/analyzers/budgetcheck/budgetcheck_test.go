@@ -1,0 +1,12 @@
+package budgetcheck_test
+
+import (
+	"testing"
+
+	"dprle/internal/analysis/analysistest"
+	"dprle/internal/analyzers/budgetcheck"
+)
+
+func TestBudgetcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", budgetcheck.Analyzer, "a")
+}

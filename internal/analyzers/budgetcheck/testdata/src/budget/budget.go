@@ -1,0 +1,26 @@
+// Package budget is a minimal stand-in for dprle/internal/budget: the
+// analyzers match the Budget type by name and package-path suffix, so
+// fixtures can exercise the budget rules without importing the real module.
+package budget
+
+import "errors"
+
+type Budget struct{ remaining int64 }
+
+func (b *Budget) Check(stage string) error {
+	if b == nil {
+		return nil
+	}
+	if b.remaining <= 0 {
+		return errors.New("exhausted: " + stage)
+	}
+	return nil
+}
+
+func (b *Budget) AddStates(n int64, stage string) error {
+	if b == nil {
+		return nil
+	}
+	b.remaining -= n
+	return b.Check(stage)
+}

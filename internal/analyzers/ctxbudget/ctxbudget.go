@@ -1,0 +1,169 @@
+// Package ctxbudget checks that concurrency entry points thread the
+// shared resource budget and caller context instead of silently dropping
+// them: a goroutine spawned inside a budget-threaded function must carry
+// the budget (otherwise its construction work is unaccounted and
+// uncancellable), and a function that accepts a context.Context must not
+// discard it by calling context.Background or context.TODO.
+package ctxbudget
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dprle/internal/analysis"
+	"dprle/internal/analyzers/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxbudget",
+	Doc: `flag goroutines and calls that drop the shared budget or context
+
+Two rules:
+
+C1 — inside a function with access to a *budget.Budget, a go statement
+must reference the budget (directly, or through a value that carries a
+budget field, such as the solver structs). The solver fans out per
+CI-group; a worker that does not see the budget performs unbounded,
+uncancellable automaton constructions.
+
+C2 — a function that takes a context.Context must not call
+context.Background() or context.TODO(): doing so disconnects the work it
+starts from the caller's deadline and cancellation. The nil-default idiom
+is permitted: assigning context.Background() to the context parameter
+itself (if ctx == nil { ctx = context.Background() }).
+
+Suppress with //lint:ignore dprlelint/ctxbudget <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if lintutil.IsBudgetThreaded(pass.TypesInfo, fn) {
+				checkGoStmts(pass, fn)
+			}
+			if hasContextParam(pass.TypesInfo, fn) {
+				checkContextDropped(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// checkGoStmts implements C1.
+func checkGoStmts(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if !referencesBudget(pass.TypesInfo, g.Call) {
+			pass.Reportf(g.Pos(),
+				"goroutine spawned in budget-threaded function %s does not reference the budget; its work is unaccounted and uncancellable",
+				fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// referencesBudget reports whether any expression in the spawned call —
+// the callee, its arguments, or a func literal's body — evaluates to a
+// value that gives access to a budget.
+func referencesBudget(info *types.Info, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		if tv, ok := info.Types[e]; ok && !tv.IsNil() && lintutil.CarriesBudget(tv.Type) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func hasContextParam(info *types.Info, fn *ast.FuncDecl) bool {
+	obj, ok := info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := obj.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredInside reports whether obj is declared within fn's body (as
+// opposed to being one of its parameters or an outer binding).
+func declaredInside(obj types.Object, fn *ast.FuncDecl) bool {
+	return fn.Body != nil && obj.Pos() >= fn.Body.Pos() && obj.Pos() <= fn.Body.End()
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkContextDropped implements C2.
+func checkContextDropped(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// The nil-default idiom `ctx = context.Background()` (re-assigning the
+	// context parameter itself) keeps the caller's context when one was
+	// given; collect those calls first and skip them below.
+	defaulted := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || !isContextType(obj.Type()) || declaredInside(obj, fn) {
+			return true
+		}
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+			defaulted[call] = true
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || defaulted[call] {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "context" {
+			return true
+		}
+		if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+			pass.Reportf(call.Pos(),
+				"%s takes a context.Context but calls context.%s, dropping the caller's cancellation and deadline",
+				fn.Name.Name, sel.Sel.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package ctxbudget_test
+
+import (
+	"testing"
+
+	"dprle/internal/analysis/analysistest"
+	"dprle/internal/analyzers/ctxbudget"
+)
+
+func TestCtxbudget(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxbudget.Analyzer, "a")
+}

@@ -1,0 +1,136 @@
+package mapiterorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dprle/internal/analysis"
+)
+
+// sortedKeysFix builds the mechanical sorted-keys rewrite for a flagged
+// map range:
+//
+//	for k, v := range m { body }
+//
+// becomes
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)          // or sort.Ints
+//	for _, k := range keys {
+//		v := m[k]
+//		body
+//	}
+//
+// The rewrite is only offered when it is provably safe and mechanical:
+// the key is a named ident of type string or int, the ranged expression
+// is a simple ident or selector (so evaluating it three times is sound),
+// and the surrounding function does not already use the name "keys".
+func sortedKeysFix(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl, rng *ast.RangeStmt) (analysis.SuggestedFix, bool) {
+	none := analysis.SuggestedFix{}
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" || rng.Tok.String() != ":=" {
+		return none, false
+	}
+	var valID *ast.Ident
+	if rng.Value != nil {
+		v, ok := rng.Value.(*ast.Ident)
+		if !ok {
+			return none, false
+		}
+		if v.Name != "_" {
+			valID = v
+		}
+	}
+	switch ast.Unparen(rng.X).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return none, false // re-evaluating the map expression may not be sound
+	}
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return none, false
+	}
+	mt, ok := tv.Type.Underlying().(*types.Map)
+	if !ok {
+		return none, false
+	}
+	var keyType, sortFn string
+	switch kt := mt.Key().Underlying().(type) {
+	case *types.Basic:
+		switch kt.Kind() {
+		case types.String:
+			keyType, sortFn = "string", "sort.Strings"
+		case types.Int:
+			keyType, sortFn = "int", "sort.Ints"
+		default:
+			return none, false
+		}
+	default:
+		return none, false
+	}
+	if usesIdent(fn.Body, "keys") {
+		return none, false // avoid capturing an existing name
+	}
+
+	src, ok := pass.Sources[pass.Fset.Position(rng.Pos()).Filename]
+	if !ok {
+		return none, false
+	}
+	text := func(n ast.Node) string {
+		return string(src[pass.Fset.Position(n.Pos()).Offset:pass.Fset.Position(n.End()).Offset])
+	}
+	mapSrc := text(rng.X)
+	bodySrc := string(src[pass.Fset.Position(rng.Body.Lbrace).Offset+1 : pass.Fset.Position(rng.Body.Rbrace).Offset])
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "keys := make([]%s, 0, len(%s))\n", keyType, mapSrc)
+	fmt.Fprintf(&b, "for %s := range %s {\nkeys = append(keys, %s)\n}\n", keyID.Name, mapSrc, keyID.Name)
+	fmt.Fprintf(&b, "%s(keys)\n", sortFn)
+	fmt.Fprintf(&b, "for _, %s := range keys {\n", keyID.Name)
+	if valID != nil {
+		fmt.Fprintf(&b, "%s := %s[%s]\n", valID.Name, mapSrc, keyID.Name)
+		bodySrc = strings.TrimLeft(bodySrc, "\n")
+	}
+	b.WriteString(bodySrc)
+	b.WriteString("}")
+
+	edits := []analysis.TextEdit{{Pos: rng.Pos(), End: rng.End(), NewText: []byte(b.String())}}
+	if !importsPath(file, "sort") {
+		edits = append(edits, sortImportEdit(file))
+	}
+	// ApplyFixes runs the result through gofmt, so the edit text need not
+	// reproduce indentation.
+	return analysis.SuggestedFix{Message: "iterate over sorted keys", TextEdits: edits}, true
+}
+
+func usesIdent(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func importsPath(file *ast.File, path string) bool {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return true
+		}
+	}
+	return false
+}
+
+// sortImportEdit inserts `import "sort"` after the package clause (gofmt
+// later merges formatting; grouping into an existing block is cosmetic).
+func sortImportEdit(file *ast.File) analysis.TextEdit {
+	pos := file.Name.End()
+	return analysis.TextEdit{Pos: pos, End: pos, NewText: []byte("\n\nimport \"sort\"")}
+}

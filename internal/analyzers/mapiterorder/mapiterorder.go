@@ -1,0 +1,270 @@
+// Package mapiterorder flags range loops over maps whose bodies have
+// order-dependent effects: Go randomizes map iteration order, so appending
+// to a result slice, writing to an output stream, assigning state IDs, or
+// returning loop-derived values from inside such a loop makes solver
+// output nondeterministic run to run. Where the rewrite is mechanical, the
+// analyzer suggests the sorted-keys loop.
+package mapiterorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dprle/internal/analysis"
+	"dprle/internal/analyzers/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiterorder",
+	Doc: `flag map iteration whose body is order-dependent
+
+A range over a map is flagged when its body:
+
+  (a) appends to a slice declared outside the loop — unless that slice is
+      sorted afterwards in the same function (the canonical collect-keys-
+      then-sort pattern is therefore clean);
+  (b) writes to an outside writer or builder (Write*/Print*/Fprint*/Add*
+      methods — assigning NFA state IDs counts), excluding budget probes;
+  (c) contains a return whose results mention the iteration variables or
+      anything assigned inside the loop (e.g. which variable's error you
+      return depends on which key the runtime visits first).
+
+Copying one map into another, accumulating an order-insensitive total, or
+ranging only to test a predicate are all order-independent and not
+flagged. For string- or int-keyed maps the analyzer suggests the
+mechanical fix: collect the keys, sort them, iterate the sorted slice.
+
+Suppress with //lint:ignore dprlelint/mapiterorder <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t, ok := pass.TypesInfo.Types[rng.X]; !ok || !isMap(t.Type) {
+					return true
+				}
+				checkMapRange(pass, file, fn, rng)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	reasons := map[string]bool{}
+
+	// Objects whose value depends on iteration state: the key/value
+	// variables plus everything assigned inside the loop body.
+	tainted := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				tainted[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, l := range as.Lhs {
+				if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+					// Anything assigned inside the body holds an
+					// iteration-derived value at a return inside the body,
+					// wherever it was declared.
+					if obj := info.Defs[id]; obj != nil {
+						tainted[obj] = true
+					} else if obj := info.Uses[id]; obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested map ranges get their own report; don't double-count
+			// their bodies here.
+			if t, ok := info.Types[n.X]; ok && isMap(t.Type) && n != rng {
+				return false
+			}
+		case *ast.AssignStmt:
+			// Rule (a): x = append(x, ...) with x declared outside.
+			if obj := appendTarget(info, n); obj != nil && !declaredWithin(obj, rng) && !sortedAfter(info, fn, rng, obj) {
+				reasons[fmt.Sprintf("appends to %s in map order", obj.Name())] = true
+			}
+		case *ast.CallExpr:
+			if name, ok := orderSensitiveWrite(info, n); ok {
+				reasons[fmt.Sprintf("calls %s in map order", name)] = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				bad := false
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && tainted[info.Uses[id]] {
+						bad = true
+					}
+					return !bad
+				})
+				if bad {
+					reasons["returns a value derived from the current iteration"] = true
+					break
+				}
+			}
+		}
+		return true
+	})
+
+	if len(reasons) == 0 {
+		return
+	}
+	var why string
+	for r := range reasons {
+		if why == "" || r < why {
+			why = r // pick deterministically; one reason is enough
+		}
+	}
+	d := analysis.Diagnostic{
+		Pos:     rng.Pos(),
+		End:     rng.Body.Lbrace,
+		Message: fmt.Sprintf("map iteration order leaks into results (%s); iterate sorted keys instead", why),
+	}
+	if fix, ok := sortedKeysFix(pass, file, fn, rng); ok {
+		d.SuggestedFixes = []analysis.SuggestedFix{fix}
+	}
+	pass.Report(d)
+}
+
+// appendTarget returns the object x for statements x = append(x, ...).
+func appendTarget(info *types.Info, as *ast.AssignStmt) types.Object {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return nil
+	}
+	if b, ok := info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call after
+// the range loop within the same function — the collect-then-sort idiom.
+func sortedAfter(info *types.Info, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			pkgID, ok := fun.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := info.Uses[pkgID].(*types.PkgName); !ok ||
+				(pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+				return true
+			}
+		case *ast.Ident:
+			// Local helpers like sortInts(xs) count as sorting too.
+			if !strings.HasPrefix(strings.ToLower(fun.Name), "sort") {
+				return true
+			}
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			used := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if used {
+				found = true
+				break
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// orderSensitiveWrite reports calls that emit output or allocate IDs in
+// iteration order: methods named Write*, Print*, Fprint*, or Add* on a
+// non-budget receiver, and the fmt.Fprint*/fmt.Print* functions.
+func orderSensitiveWrite(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if !hasAnyPrefix(name, "Write", "Print", "Fprint", "Add") {
+		return "", false
+	}
+	if s, ok := info.Selections[sel]; ok { // method call
+		if lintutil.IsBudgetPtr(s.Recv()) {
+			return "", false // budget probes are order-insensitive
+		}
+		return name, true
+	}
+	// Package-qualified: only fmt's printers are write-like.
+	if pkgID, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[pkgID].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			return "fmt." + name, true
+		}
+	}
+	return "", false
+}
+
+func hasAnyPrefix(s string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if len(s) >= len(p) && s[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}

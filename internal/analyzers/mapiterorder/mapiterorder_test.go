@@ -1,0 +1,16 @@
+package mapiterorder_test
+
+import (
+	"testing"
+
+	"dprle/internal/analysis/analysistest"
+	"dprle/internal/analyzers/mapiterorder"
+)
+
+func TestMapiterorder(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiterorder.Analyzer, "a")
+}
+
+func TestSortedKeysFix(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, "testdata", mapiterorder.Analyzer, "fix")
+}

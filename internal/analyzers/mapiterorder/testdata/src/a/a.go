@@ -1,0 +1,103 @@
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"budget"
+)
+
+// Rule (a): appending to an outside slice in map order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order leaks into results \(appends to out in map order\)`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Clean: the canonical collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clean: a local sort helper counts as sorting too.
+func SortedKeysHelper(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) { sort.Ints(a) }
+
+// Rule (b): writing output in map order.
+func Render(m map[string]string) string {
+	var b strings.Builder
+	for k, v := range m { // want `map iteration order leaks into results \(calls WriteString in map order\)`
+		b.WriteString(k + "=" + v + "\n")
+	}
+	return b.String()
+}
+
+// Rule (b): fmt printers count as writers.
+func Dump(m map[string]int) {
+	for k, v := range m { // want `map iteration order leaks into results \(calls fmt\.Printf in map order\)`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Clean: budget probes are order-insensitive accounting, not output.
+func Account(bud *budget.Budget, m map[string]int) {
+	for range m {
+		if err := bud.AddStates(1, "account"); err != nil {
+			return
+		}
+	}
+}
+
+// Rule (c): which variable's error is reported depends on map order.
+func Validate(m map[string]int) error {
+	for k, v := range m { // want `map iteration order leaks into results \(returns a value derived from the current iteration\)`
+		if v < 0 {
+			return fmt.Errorf("negative value for %s", k)
+		}
+	}
+	return nil
+}
+
+// Clean: an order-independent existence check returning constants.
+func HasNegative(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clean: copying one map into another is order-independent.
+func Clone(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Clean: order-insensitive accumulation.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,15 @@
+package fix
+
+import (
+	"fmt"
+)
+
+// Lines qualifies for the mechanical sorted-keys rewrite: a named string
+// key, a named value, and a simple ident as the ranged expression.
+func Lines(counts map[string]int) []string {
+	var out []string
+	for name, n := range counts { // want `map iteration order leaks into results \(appends to out in map order\)`
+		out = append(out, fmt.Sprintf("%s=%d", name, n))
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+// Package panicguard flags panic sites reachable from a package's
+// exported API without an intervening recover boundary. The solver's
+// public surface (dprle.Solve and friends) promises errors, not panics —
+// internal invariant panics are converted at the API edge by the
+// PanicError recover boundary — and the user-input parsers
+// (internal/lang, internal/regex) must reject malformed input with
+// wrapped errors, never a crash.
+package panicguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+	"unicode"
+
+	"dprle/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "panicguard",
+	Doc: `flag panics reachable from exported functions
+
+The analyzer builds the package's static call graph and walks it from
+every exported function or method. A panic call site reachable on some
+path is reported unless the path is cut by one of three sanctioned
+boundaries:
+
+  - a recover boundary: a function that defers recover(), directly via a
+    func literal or through a helper (defer recoverToError(&err));
+  - a Must* function: by Go convention its name documents that it panics
+    on bad input, and callers opt in;
+  - a documented panic: a function whose doc comment states that it
+    panics is an accepted contract, and its callers take responsibility.
+
+Unexported invariant panics that are genuinely unreachable-if-correct
+(checked exhaustiveness, structural invariants) should carry a
+//lint:ignore dprlelint/panicguard <reason> directive on the panic line.`,
+	Run: run,
+}
+
+// fnInfo is the per-function summary the call graph is built from.
+type fnInfo struct {
+	decl      *ast.FuncDecl
+	obj       *types.Func
+	panics    []*ast.CallExpr // direct panic(...) sites
+	callees   map[*types.Func]bool
+	protected bool // defers a recover boundary
+	exempt    bool // Must* naming or documented panic contract
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	fns := map[*types.Func]*fnInfo{}
+	var order []*fnInfo
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &fnInfo{decl: fd, obj: obj, callees: map[*types.Func]bool{}}
+			fns[obj] = fi
+			order = append(order, fi)
+		}
+	}
+
+	// recoversDirectly is needed before protection can be resolved: a
+	// deferred call to a same-package helper whose body calls recover()
+	// (the dprle.recoverToError pattern) protects the deferring function.
+	recovers := map[*types.Func]bool{}
+	for obj, fi := range fns {
+		if callsRecover(info, fi.decl.Body) {
+			recovers[obj] = true
+		}
+	}
+
+	for _, fi := range fns {
+		fi.exempt = isMustNamed(fi.obj.Name()) || docMentionsPanic(fi.decl)
+		fi.protected = defersRecover(info, fi.decl.Body, recovers)
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					fi.panics = append(fi.panics, call)
+					return true
+				}
+			}
+			if callee := calleeFunc(info, call); callee != nil {
+				if _, local := fns[callee]; local {
+					fi.callees[callee] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Walk from each exported seed, stopping at exempt or protected nodes.
+	// reachedVia[f] records the lexicographically first seed that reaches
+	// f, keeping messages deterministic.
+	reachedVia := map[*types.Func]string{}
+	var seeds []*fnInfo
+	for _, fi := range order {
+		if isExportedAPI(fi.decl) {
+			seeds = append(seeds, fi)
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].obj.Name() < seeds[j].obj.Name() })
+	for _, seed := range seeds {
+		if seed.exempt || seed.protected {
+			continue
+		}
+		stack := []*fnInfo{seed}
+		visited := map[*fnInfo]bool{seed: true}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if _, ok := reachedVia[cur.obj]; !ok {
+				reachedVia[cur.obj] = seed.obj.Name()
+			}
+			// Visit callees in name order so traversal (and thus the seed
+			// recorded for shared helpers) is deterministic.
+			callees := make([]*types.Func, 0, len(cur.callees))
+			for callee := range cur.callees {
+				callees = append(callees, callee)
+			}
+			sort.Slice(callees, func(i, j int) bool { return callees[i].Name() < callees[j].Name() })
+			for _, callee := range callees {
+				fi := fns[callee]
+				if fi == nil || visited[fi] || fi.exempt || fi.protected {
+					continue
+				}
+				visited[fi] = true
+				stack = append(stack, fi)
+			}
+		}
+	}
+
+	for _, fi := range order {
+		seed, ok := reachedVia[fi.obj]
+		if !ok {
+			continue
+		}
+		for _, p := range fi.panics {
+			via := ""
+			if seed != fi.obj.Name() {
+				via = fmt.Sprintf(" (via %s)", fi.obj.Name())
+			}
+			pass.Reportf(p.Pos(),
+				"panic reachable from exported function %s%s without a recover boundary; return a wrapped error or document the panic contract",
+				seed, via)
+		}
+	}
+	return nil
+}
+
+// isExportedAPI reports whether the declaration is part of the package's
+// exported surface: an exported function, or an exported method on an
+// exported receiver type.
+func isExportedAPI(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers (IndexExpr) and plain idents both end in an ident.
+	for {
+		switch tt := t.(type) {
+		case *ast.Ident:
+			return tt.IsExported()
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		default:
+			return true // be conservative: treat unknown shapes as exported
+		}
+	}
+}
+
+// isMustNamed reports whether name follows the MustXxx convention.
+func isMustNamed(name string) bool {
+	rest, ok := strings.CutPrefix(name, "Must")
+	if !ok {
+		return false
+	}
+	return rest == "" || unicode.IsUpper(rune(rest[0]))
+}
+
+// docMentionsPanic reports whether the function's doc comment documents a
+// panic contract ("panics if ...", "It panics on ...").
+func docMentionsPanic(fd *ast.FuncDecl) bool {
+	return fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "panic")
+}
+
+// defersRecover reports whether the body defers a recover boundary:
+// either a func literal calling recover(), or a call to a same-package
+// helper that calls recover() (one level deep).
+func defersRecover(info *types.Info, body *ast.BlockStmt, recovers map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok || found {
+			return !found
+		}
+		switch fun := ast.Unparen(d.Call.Fun).(type) {
+		case *ast.FuncLit:
+			if callsRecover(info, fun.Body) {
+				found = true
+			}
+		default:
+			if callee := calleeFunc(info, d.Call); callee != nil && recovers[callee] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func callsRecover(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

@@ -1,0 +1,12 @@
+package panicguard_test
+
+import (
+	"testing"
+
+	"dprle/internal/analysis/analysistest"
+	"dprle/internal/analyzers/panicguard"
+)
+
+func TestPanicguard(t *testing.T) {
+	analysistest.Run(t, "testdata", panicguard.Analyzer, "a")
+}

@@ -1,0 +1,81 @@
+package a
+
+import "fmt"
+
+// Exported reaches a crash site inside an unexported helper; the finding
+// is attributed to this seed. (The doc must not name the p-word: that
+// would document the contract and exempt it.)
+func Exported(x int) int { return helper(x) }
+
+func helper(x int) int {
+	if x < 0 {
+		panic("negative input") // want `panic reachable from exported function Exported \(via helper\) without a recover boundary`
+	}
+	return x
+}
+
+// Direct crashes on zero input and is flagged at the site itself.
+func Direct(x int) int {
+	if x == 0 {
+		panic("zero") // want `panic reachable from exported function Direct without a recover boundary`
+	}
+	return 1 / x
+}
+
+// Clean: Must* names document the panic contract by convention.
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty input")
+	}
+	return len(s)
+}
+
+// Clean: a doc comment stating the contract exempts the function.
+// Div panics if y is zero.
+func Div(x, y int) int {
+	if y == 0 {
+		panic("division by zero")
+	}
+	return x / y
+}
+
+// Clean: a deferred func literal calling recover is a boundary.
+func Guarded() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	panic("internal invariant")
+}
+
+// Clean: deferring a recover helper (one level) is a boundary too —
+// the dprle.recoverToError pattern.
+func GuardedByHelper() (err error) {
+	defer recoverToError(&err)
+	panic("internal invariant")
+}
+
+func recoverToError(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("recovered: %v", r)
+	}
+}
+
+// Clean: a panic in a function no exported seed reaches.
+func orphan() {
+	panic("unreachable from the API")
+}
+
+// Clean: the escape hatch with a reason suppresses the finding.
+func Checked(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	if total < 0 {
+		//lint:ignore dprlelint/panicguard overflow is impossible for the fixture's inputs
+		panic("invariant violated")
+	}
+	return total
+}

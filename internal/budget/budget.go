@@ -84,6 +84,13 @@ func (e *Exhausted) Unwrap() error { return e.cause }
 
 // Budget carries the limits and counters of one solve. All methods are safe
 // for concurrent use and valid on a nil receiver (unlimited, uncounted).
+//
+// The nil contract is load-bearing: Check and AddStates return nil
+// immediately on a nil receiver, before consulting limits or fault
+// injection, so a call like IntersectB(nil, ...) can never fail. The
+// un-budgeted wrappers (nfa.Intersect and friends) discard the error on
+// exactly that basis, and the budgetcheck analyzer permits a discarded *B
+// error only when the budget argument is the literal nil.
 type Budget struct {
 	ctx     context.Context
 	limits  Limits

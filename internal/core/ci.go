@@ -50,7 +50,7 @@ func ConcatIntersectB(bud *budget.Budget, c1, c2, c3 *nfa.NFA) ([]CISolution, er
 // ConcatIntersectTrace is ConcatIntersect, additionally returning the
 // intermediate machines for inspection (Fig. 4 reproduces them).
 func ConcatIntersectTrace(c1, c2, c3 *nfa.NFA) ([]CISolution, *CITrace) {
-	sols, trace, _ := concatIntersectB(nil, c1, c2, c3)
+	sols, trace, _ := concatIntersectB(nil, c1, c2, c3) // nil budget cannot fail (see budget.Budget)
 	return sols, trace
 }
 

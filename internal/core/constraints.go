@@ -249,6 +249,9 @@ func (a Assignment) Lookup(name string) *nfa.NFA {
 }
 
 // Eval evaluates an expression under the assignment ([e]_A in the paper).
+// It panics on an expression type outside the closed Expr set — systems
+// are built through this package's constructors, so that is a solver bug
+// rather than bad input.
 func (a Assignment) Eval(e Expr) *nfa.NFA {
 	switch e := e.(type) {
 	case Var:
@@ -267,7 +270,7 @@ func (a Assignment) Eval(e Expr) *nfa.NFA {
 // to the given variables; two assignments agree on those variables (as
 // languages) iff their fingerprints are equal.
 func (a Assignment) Fingerprint(vars []string) string {
-	fp, _ := a.FingerprintB(nil, vars)
+	fp, _ := a.FingerprintB(nil, vars) // nil budget cannot fail (see budget.Budget)
 	return fp
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -91,6 +92,7 @@ func (g *Graph) walk(e Expr) int {
 		g.Concats = append(g.Concats, ConcatPair{Left: l, Right: r, Result: t, Tag: len(g.Concats)})
 		return t
 	}
+	//lint:ignore dprlelint/panicguard desugared() eliminates Or before graph construction; reaching this is a solver bug
 	panic(fmt.Sprintf("core: walk of unexpected expression %T (Or must be desugared)", e))
 }
 
@@ -198,12 +200,9 @@ func (g *Graph) CIGroups() [][]int {
 		sortInts(m)
 		out = append(out, m)
 	}
-	// Deterministic order by first member.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j][0] < out[j-1][0]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	// Deterministic order by first member (each group's members are sorted,
+	// so out[i][0] is the group's least node ID).
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
 	return out
 }
 

@@ -420,7 +420,16 @@ func (s *gciSolver) evalCombo(roots []*rootInfo, combo comboChoice, occs map[int
 		}
 	}
 	sol := map[int]*nfa.NFA{}
-	for varID, os := range occs {
+	// Sorted order keeps budget accounting deterministic: which variable's
+	// intersection trips an exhausted budget first must not depend on map
+	// iteration order.
+	varIDs := make([]int, 0, len(occs))
+	for varID := range occs {
+		varIDs = append(varIDs, varID)
+	}
+	sortInts(varIDs)
+	for _, varID := range varIDs {
+		os := occs[varID]
 		machines := make([]*nfa.NFA, 0, len(os))
 		for _, o := range os {
 			machines = append(machines, spans[o.root][o.leaf])
@@ -542,7 +551,15 @@ func pruneSubsumedB(bud *budget.Budget, sols []map[int]*nfa.NFA) []map[int]*nfa.
 }
 
 func pointwiseSubset(bud *budget.Budget, a, b map[int]*nfa.NFA) (bool, error) {
-	for id, la := range a {
+	// Sorted order: whether a budget trip or a definitive non-subset is
+	// reported first must not depend on map iteration order.
+	ids := make([]int, 0, len(a))
+	for id := range a {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	for _, id := range ids {
+		la := a[id]
 		lb, ok := b[id]
 		if !ok {
 			return false, nil

@@ -27,8 +27,8 @@ import (
 // complement machines of constraint right-hand sides across calls.
 type maximizer struct {
 	sys    *System
-	bud    *budget.Budget // nil means unlimited
-	cons   []Constraint   // desugared
+	bud    *budget.Budget   // nil means unlimited
+	cons   []Constraint     // desugared
 	byVar  map[string][]int // var name → indices into cons mentioning it
 	notRhs map[*Const]*nfa.NFA
 	rounds int

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"sync"
 
 	"dprle/internal/budget"
@@ -413,11 +414,18 @@ func DecideCtx(ctx context.Context, s *System, interest []string, opts Options) 
 }
 
 // Witnesses extracts a shortest concrete string per variable from an
-// assignment, the form needed to emit test inputs (paper §2).
+// assignment, the form needed to emit test inputs (paper §2). Variables
+// are visited in sorted order so that, when several languages are empty,
+// the reported variable does not depend on map iteration order.
 func Witnesses(a Assignment) (map[string]string, error) {
+	names := make([]string, 0, len(a))
+	for v := range a {
+		names = append(names, v)
+	}
+	sort.Strings(names)
 	out := map[string]string{}
-	for v, lang := range a {
-		w, ok := lang.ShortestWitness()
+	for _, v := range names {
+		w, ok := a[v].ShortestWitness()
 		if !ok {
 			return nil, fmt.Errorf("core: variable %s has an empty language", v)
 		}

@@ -9,7 +9,7 @@ import (
 
 // Subset reports whether L(a) ⊆ L(b), decided as L(a) ∩ (Σ* \ L(b)) = ∅.
 func Subset(a, b *NFA) bool {
-	ok, _ := SubsetB(nil, a, b)
+	ok, _ := SubsetB(nil, a, b) // nil budget cannot fail (see budget.Budget)
 	return ok
 }
 
@@ -44,7 +44,7 @@ func ProperSubset(a, b *NFA) bool {
 // runs so the result is independent of how edge labels were partitioned.
 // The solver uses fingerprints to deduplicate disjunctive assignments.
 func Fingerprint(m *NFA) string {
-	fp, _ := FingerprintB(nil, m)
+	fp, _ := FingerprintB(nil, m) // nil budget cannot fail (see budget.Budget)
 	return fp
 }
 

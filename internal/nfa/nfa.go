@@ -89,6 +89,8 @@ func (b *Builder) AddEps(from, to int) {
 }
 
 // AddTaggedEps adds a seam ε-transition carrying the given nonnegative tag.
+// It panics if tag is negative: seam tags index concat edges, and a negative
+// value is always a caller bug, never recoverable data.
 func (b *Builder) AddTaggedEps(from, to, tag int) {
 	if tag < 0 {
 		panic(fmt.Sprintf("nfa: AddTaggedEps with negative tag %d", tag))
@@ -100,6 +102,8 @@ func (b *Builder) AddTaggedEps(from, to, tag int) {
 func (b *Builder) NumStates() int { return len(b.edges) }
 
 // Build finalizes the machine with the given start and final states.
+// It panics if either state is out of range — machine construction is
+// solver-internal, so an invalid state ID is a bug, not input.
 func (b *Builder) Build(start, final int) *NFA {
 	if start < 0 || start >= len(b.edges) || final < 0 || final >= len(b.edges) {
 		panic("nfa: Build with out-of-range start or final state")

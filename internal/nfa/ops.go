@@ -32,7 +32,7 @@ func Concat(a, b *NFA) *NFA {
 // ConcatTagged returns a machine for L(a)·L(b) whose joining ε-transition
 // carries the given seam tag. Intersections preserve the tag, so the
 // surviving copies of this edge are exactly the CI algorithm's candidate
-// slicing points.
+// slicing points. It panics if tag is negative (see Builder.AddTaggedEps).
 func ConcatTagged(a, b *NFA, tag int) *NFA {
 	if tag < 0 {
 		panic("nfa: ConcatTagged with negative tag")

@@ -12,6 +12,9 @@ import "dprle/internal/budget"
 //
 // Only product states reachable from the product start are materialized.
 func Intersect(a, b *NFA) *NFA {
+	// A nil *budget.Budget never trips — Check/AddStates return nil
+	// immediately on a nil receiver — so IntersectB's error is statically
+	// nil here and safe to discard (budgetcheck encodes this contract).
 	m, _ := IntersectB(nil, a, b)
 	return m
 }
@@ -86,7 +89,7 @@ func IntersectB(bud *budget.Budget, a, b *NFA) (*NFA, error) {
 // IntersectAll intersects all given machines left to right.
 // IntersectAll() is Σ*.
 func IntersectAll(ms ...*NFA) *NFA {
-	m, _ := IntersectAllB(nil, ms...)
+	m, _ := IntersectAllB(nil, ms...) // nil budget cannot fail (see Intersect)
 	return m
 }
 

@@ -10,7 +10,7 @@ import "dprle/internal/budget"
 
 // LeftQuotient returns A⁻¹X = { w | ∃a ∈ L(a): aw ∈ L(x) }.
 func LeftQuotient(a, x *NFA) *NFA {
-	m, _ := LeftQuotientB(nil, a, x)
+	m, _ := LeftQuotientB(nil, a, x) // nil budget cannot fail (see budget.Budget)
 	return m
 }
 
@@ -37,7 +37,7 @@ func LeftQuotientB(bud *budget.Budget, a, x *NFA) (*NFA, error) {
 
 // RightQuotient returns XB⁻¹ = { w | ∃b ∈ L(b): wb ∈ L(x) }.
 func RightQuotient(x, b *NFA) *NFA {
-	m, _ := RightQuotientB(nil, x, b)
+	m, _ := RightQuotientB(nil, x, b) // nil budget cannot fail (see budget.Budget)
 	return m
 }
 
@@ -103,7 +103,7 @@ func MaxMiddle(a, b, c *NFA) *NFA {
 // callers that probe many (a, b) pairs against one constant amortize the
 // determinization.
 func MaxMiddleNot(a, b, notC *NFA) *NFA {
-	m, _ := MaxMiddleNotB(nil, a, b, notC)
+	m, _ := MaxMiddleNotB(nil, a, b, notC) // nil budget cannot fail (see budget.Budget)
 	return m
 }
 

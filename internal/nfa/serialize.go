@@ -48,6 +48,7 @@ func (m *NFA) WriteTo(w io.Writer) (int64, error) {
 func (m *NFA) Marshal() string {
 	var b strings.Builder
 	if _, err := m.WriteTo(&b); err != nil {
+		//lint:ignore dprlelint/panicguard strings.Builder writes never return an error
 		panic("nfa: Marshal to strings.Builder cannot fail: " + err.Error())
 	}
 	return b.String()

@@ -1,10 +1,34 @@
 package regex
 
 import (
+	"errors"
 	"fmt"
 
 	"dprle/internal/nfa"
 )
+
+// ErrPatternTooLarge reports a pattern whose compiled NFA would exceed
+// maxCompiledStates. Compile and MatchLanguage wrap it, so callers can test
+// with errors.Is.
+var ErrPatternTooLarge = errors.New("pattern too large")
+
+// maxCompiledStates bounds the NFA a single pattern may expand to. Bounded
+// repeats compile by copying ({n} concatenates n copies of the sub-machine),
+// so although the parser caps each individual bound at 1000, nested bounds
+// multiply: a{999}{999} names a million-state machine, and every Concat copy
+// is O(current size), which turns compilation quadratic in that size. User
+// input reaches Compile through the textio and lang front ends, so a hostile
+// pattern must fail fast with a wrapped error instead of hanging.
+const maxCompiledStates = 1 << 14
+
+// checkSize enforces maxCompiledStates on a partially built machine.
+func checkSize(m *nfa.NFA) error {
+	if m.NumStates() > maxCompiledStates {
+		return fmt.Errorf("regex: compiled NFA exceeds %d states (nested bounded repeats multiply): %w",
+			maxCompiledStates, ErrPatternTooLarge)
+	}
+	return nil
+}
 
 // Compile returns an NFA for the exact language of the pattern. This is the
 // interpretation used for constraint constants; anchors are only permitted at
@@ -229,6 +253,9 @@ func compile(n node) (*nfa.NFA, error) {
 				return nil, err
 			}
 			out = nfa.Concat(out, m)
+			if err := checkSize(out); err != nil {
+				return nil, err
+			}
 		}
 		return out, nil
 	case altNode:
@@ -240,7 +267,11 @@ func compile(n node) (*nfa.NFA, error) {
 			}
 			ms = append(ms, m)
 		}
-		return nfa.UnionAll(ms...), nil
+		out := nfa.UnionAll(ms...)
+		if err := checkSize(out); err != nil {
+			return nil, err
+		}
+		return out, nil
 	case repeatNode:
 		return compileRepeat(n)
 	case anchorNode:
@@ -250,29 +281,35 @@ func compile(n node) (*nfa.NFA, error) {
 }
 
 func compileRepeat(n repeatNode) (*nfa.NFA, error) {
+	// Concat copies its operands into a fresh machine, so one compiled copy
+	// of the sub-pattern serves every repetition. Each copy is size-checked
+	// before the next Concat, so a nested bound trips ErrPatternTooLarge
+	// after O(cap) work instead of expanding min·|sub| states.
+	sub, err := compile(n.sub)
+	if err != nil {
+		return nil, err
+	}
 	// Required prefix: min copies.
 	out := nfa.Epsilon()
 	for i := 0; i < n.min; i++ {
-		m, err := compile(n.sub)
-		if err != nil {
+		out = nfa.Concat(out, sub)
+		if err := checkSize(out); err != nil {
 			return nil, err
 		}
-		out = nfa.Concat(out, m)
 	}
 	switch {
 	case n.max < 0:
-		m, err := compile(n.sub)
-		if err != nil {
+		out = nfa.Concat(out, nfa.Star(sub))
+		if err := checkSize(out); err != nil {
 			return nil, err
 		}
-		out = nfa.Concat(out, nfa.Star(m))
 	case n.max > n.min:
+		opt := nfa.Optional(sub)
 		for i := n.min; i < n.max; i++ {
-			m, err := compile(n.sub)
-			if err != nil {
+			out = nfa.Concat(out, opt)
+			if err := checkSize(out); err != nil {
 				return nil, err
 			}
-			out = nfa.Concat(out, nfa.Optional(m))
 		}
 	}
 	return out, nil

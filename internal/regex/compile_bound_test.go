@@ -1,0 +1,76 @@
+package regex
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExplosiveRepeatsRejected pins the expansion bound: patterns whose
+// nested bounded repeats multiply past maxCompiledStates must fail fast with
+// ErrPatternTooLarge on both compilation modes instead of hanging. Each of
+// these used to loop for minutes building million-state machines.
+func TestExplosiveRepeatsRejected(t *testing.T) {
+	patterns := []string{
+		"a{999}{999}",
+		"a{1000}{1000}{1000}",
+		"(a{100}){100}{100}",
+		"(ab|cd){500}{500}",
+		"a{0,1000}{0,1000}{0,1000}",
+		"(a{999}){2,999}",
+	}
+	for _, pat := range patterns {
+		t.Run(pat, func(t *testing.T) {
+			r, err := Parse(pat)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", pat, err)
+			}
+			start := time.Now()
+			if _, err := r.Compile(); !errors.Is(err, ErrPatternTooLarge) {
+				t.Errorf("Compile(%q) err = %v, want ErrPatternTooLarge", pat, err)
+			}
+			if _, err := r.MatchLanguage(); !errors.Is(err, ErrPatternTooLarge) {
+				t.Errorf("MatchLanguage(%q) err = %v, want ErrPatternTooLarge", pat, err)
+			}
+			if elapsed := time.Since(start); elapsed > 10*time.Second {
+				t.Errorf("rejecting %q took %v; the bound must trip before the expansion, not after", pat, elapsed)
+			}
+		})
+	}
+}
+
+// TestLargeBoundedRepeatsCompile guards against over-tightening the bound:
+// realistic single-level repeats (including the parser's 1000 maximum and
+// the hash-literal patterns the symbolic executor relies on) stay compilable
+// and keep their exact language.
+func TestLargeBoundedRepeatsCompile(t *testing.T) {
+	cases := []struct {
+		pattern        string
+		accept, reject string
+	}{
+		{"a{1000}", strings.Repeat("a", 1000), strings.Repeat("a", 999)},
+		{"(ab){50,100}", strings.Repeat("ab", 75), strings.Repeat("ab", 49)},
+		{"a{2}{3}", "aaaaaa", "aaaaa"},
+		{"[0-9a-f]{32}", strings.Repeat("0f", 16), "xyz"},
+		{"(x|y){0,200}", strings.Repeat("xy", 100), strings.Repeat("x", 201)},
+	}
+	for _, c := range cases {
+		t.Run(c.pattern, func(t *testing.T) {
+			r, err := Parse(c.pattern)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", c.pattern, err)
+			}
+			m, err := r.Compile()
+			if err != nil {
+				t.Fatalf("Compile(%q): %v", c.pattern, err)
+			}
+			if !m.Accepts(c.accept) {
+				t.Errorf("%q rejects %q", c.pattern, c.accept)
+			}
+			if m.Accepts(c.reject) {
+				t.Errorf("%q accepts %q", c.pattern, c.reject)
+			}
+		})
+	}
+}

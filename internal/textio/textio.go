@@ -29,15 +29,22 @@ import (
 	"dprle/internal/regex"
 )
 
-// ParseError reports a syntax error with line information.
+// ParseError reports a syntax error with line information. When the error
+// wraps a failure from a lower layer (regex compilation, system
+// construction), Cause carries it for errors.Is / errors.As.
 type ParseError struct {
-	Line int
-	Msg  string
+	Line  int
+	Msg   string
+	Cause error
 }
 
 func (e *ParseError) Error() string {
 	return fmt.Sprintf("textio: line %d: %s", e.Line, e.Msg)
 }
+
+// Unwrap exposes the underlying cause, so errors.Is(err,
+// regex.ErrPatternTooLarge) works through a ParseError.
+func (e *ParseError) Unwrap() error { return e.Cause }
 
 type token struct {
 	kind tokenKind
@@ -251,7 +258,7 @@ func (p *parser) constDecl() error {
 	}
 	c, err := p.sys.Const(name.text, lang)
 	if err != nil {
-		return &ParseError{Line: name.line, Msg: err.Error()}
+		return &ParseError{Line: name.line, Msg: err.Error(), Cause: err}
 	}
 	p.decl[name.text] = c
 	return nil
@@ -288,18 +295,18 @@ func (p *parser) langTerm() (*nfa.NFA, error) {
 		}
 		r, err := regex.Parse(rt.text)
 		if err != nil {
-			return nil, &ParseError{Line: rt.line, Msg: err.Error()}
+			return nil, &ParseError{Line: rt.line, Msg: err.Error(), Cause: err}
 		}
 		if t.text == "match" {
 			m, err := r.MatchLanguage()
 			if err != nil {
-				return nil, &ParseError{Line: rt.line, Msg: err.Error()}
+				return nil, &ParseError{Line: rt.line, Msg: err.Error(), Cause: err}
 			}
 			return m, nil
 		}
 		m, err := r.Compile()
 		if err != nil {
-			return nil, &ParseError{Line: rt.line, Msg: err.Error()}
+			return nil, &ParseError{Line: rt.line, Msg: err.Error(), Cause: err}
 		}
 		return m, nil
 	case "lit":
@@ -335,7 +342,7 @@ func (p *parser) constraint() error {
 		return err
 	}
 	if err := p.sys.Add(lhs, c); err != nil {
-		return &ParseError{Line: rhs.line, Msg: err.Error()}
+		return &ParseError{Line: rhs.line, Msg: err.Error(), Cause: err}
 	}
 	return nil
 }

@@ -1,10 +1,13 @@
 package textio
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"dprle/internal/core"
+	"dprle/internal/regex"
 )
 
 const motivating = `
@@ -179,5 +182,31 @@ func TestCommentsAndWhitespace(t *testing.T) {
 	}
 	if len(sys.Constraints()) != 1 {
 		t.Fatal("constraint lost")
+	}
+}
+
+// TestParseExplosiveRegexFails pins the regex expansion bound at this
+// front end: a hostile pattern whose nested bounded repeats multiply must
+// surface regex.ErrPatternTooLarge as a ParseError instead of hanging the
+// parser while it expands a million-state machine.
+func TestParseExplosiveRegexFails(t *testing.T) {
+	cases := []string{
+		`const x := re /a{400}{400}/; v <= x;`,
+		`const x := match /a{999}{999}/; v <= x;`,
+		`const x := re /(a{100}){100}{100}/; v <= x;`,
+	}
+	for _, src := range cases {
+		start := time.Now()
+		_, err := Parse(src)
+		if !errors.Is(err, regex.ErrPatternTooLarge) {
+			t.Errorf("Parse(%q) err = %v, want regex.ErrPatternTooLarge", src, err)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) err = %T, want *ParseError with line info", src, err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Errorf("rejecting %q took %v", src, elapsed)
+		}
 	}
 }
