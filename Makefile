@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint fix fmt cover bench
+.PHONY: all build test race lint fix fmt cover bench
 
 all: build lint test
 
@@ -9,6 +9,10 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Full suite under the race detector (the dedicated `race` CI job).
+race:
+	$(GO) test -race ./...
 
 # Static analysis: go vet plus the repo-specific invariant suite
 # (DESIGN.md §7). Both exit non-zero on findings, failing the build.

@@ -7,6 +7,12 @@
 //	dprlelint -only budgetcheck ./...     # a subset of analyzers
 //	dprlelint -json ./...                 # machine-readable findings
 //	dprlelint -fix ./...                  # apply suggested fixes in place
+//	dprlelint -list                       # the suite, one line each
+//	dprlelint -help nilness               # full docs for one analyzer
+//
+// Findings are reported in a single global order — file, line, column,
+// analyzer — across all packages and analyzers, so -json and CI output
+// are byte-stable.
 //
 // Exit status: 0 no findings, 1 findings reported, 2 usage or load error.
 // Findings are suppressed by //lint:ignore dprlelint/<analyzer> <reason>
@@ -18,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,15 +38,16 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dprlelint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	fix := fs.Bool("fix", false, "apply suggested fixes to the source files")
-	list := fs.Bool("list", false, "list available analyzers and exit")
+	list := fs.Bool("list", false, "list available analyzers with a one-line summary and exit")
+	help := fs.String("help", "", "print the full documentation for one analyzer and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: dprlelint [-json] [-fix] [-only name,...] packages...\n")
+		fmt.Fprintf(stderr, "usage: dprlelint [-json] [-fix] [-only name,...] [-list] [-help name] packages...\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -47,10 +55,26 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	suite := analyzers.All()
-	if *list {
+	if *help != "" {
 		for _, a := range suite {
-			doc, _, _ := strings.Cut(a.Doc, "\n")
-			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, doc)
+			if a.Name == *help {
+				fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+				return 0
+			}
+		}
+		fmt.Fprintf(stderr, "dprlelint: unknown analyzer %q; run -list for the suite\n", *help)
+		return 2
+	}
+	if *list {
+		width := 0
+		for _, a := range suite {
+			if len(a.Name) > width {
+				width = len(a.Name)
+			}
+		}
+		for _, a := range suite {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(stdout, "%-*s  %s\n", width, a.Name, summary)
 		}
 		return 0
 	}
@@ -132,6 +156,12 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		all = append(all, findings...)
 	}
+
+	// Findings were collected package by package; re-sort globally so the
+	// output is ordered by file:line:col across analyzer and package
+	// boundaries — byte-stable for CI diffing no matter how the package
+	// list was produced.
+	analysis.SortFindings(all)
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -74,6 +75,72 @@ func TestUnbudgetedDeterminizeFails(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("expected a budgetcheck finding for un-budgeted Determinize, got %v", findings)
+	}
+}
+
+// TestListFlag pins -list: every analyzer appears with its one-line
+// summary, aligned into a two-column table.
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	suite := analyzers.All()
+	if len(lines) != len(suite) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(suite), stdout.String())
+	}
+	for i, a := range suite {
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		if !strings.HasPrefix(lines[i], a.Name) || !strings.HasSuffix(lines[i], summary) {
+			t.Errorf("-list line %d = %q, want %q ... %q", i, lines[i], a.Name, summary)
+		}
+	}
+}
+
+// TestHelpFlag pins -help <name>: the analyzer's full Doc string is
+// printed, and an unknown name is a usage error.
+func TestHelpFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-help", "nilness"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-help nilness exited %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"nilness:", "N1", "N2", "lint:ignore dprlelint/nilness"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("-help nilness output lacks %q:\n%s", want, stdout.String())
+		}
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-help", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-help nosuch exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("-help nosuch stderr = %q, want an unknown-analyzer error", stderr.String())
+	}
+}
+
+// TestSeededNilDerefFails proves the flow-sensitive gate works end to end:
+// a guaranteed nil dereference seeded into a solver path must produce a
+// nilness finding (and therefore a non-zero dprlelint exit, failing CI).
+func TestSeededNilDerefFails(t *testing.T) {
+	loader := analysis.NewSourceLoader(filepath.Join("testdata", "src"))
+	pkg, err := loader.Load("regress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(pkg, loader.Fset, analyzers.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Analyzer == "nilness" && strings.Contains(f.Message, "provably nil dereference of m") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a nilness finding for the seeded nil dereference, got %v", findings)
 	}
 }
 

@@ -1,0 +1,534 @@
+// Package dataflow provides the flow-sensitive layer of the dprlelint
+// framework: a control-flow-graph builder for Go function bodies and a
+// generic worklist fixpoint solver over join-semilattices (see fixpoint.go).
+// Like the rest of internal/analysis it depends on the standard library
+// alone; it mirrors the block/edge vocabulary of internal/cfg (the PHP-subset
+// CFG the symbolic executor uses), lifted to Go's statement set.
+//
+// A CFG partitions one function body into basic blocks. Conditions are
+// decomposed to their short-circuit leaves: `if a && b` produces one block
+// evaluating a and a second evaluating b, each with a true/false edge pair
+// whose Cond field names the leaf expression that holds (or fails) along the
+// edge. Analyzers use those edges to refine facts per branch — the mechanism
+// behind nilness ("x is non-nil inside `if x != nil`") and budgetflow ("the
+// budget is provably nil under `if bud == nil`").
+//
+// Function literals are not inlined: a FuncLit appearing in a statement is
+// part of that statement's node, but its body gets its own CFG (see
+// FuncBodies). Return statements, calls to panic, and calls to os.Exit
+// terminate their block with an edge to the synthetic exit block.
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An Edge is one control-flow edge. Cond, when non-nil, is the
+// short-circuit leaf condition that evaluates to Taken along this edge.
+type Edge struct {
+	To    int
+	Cond  ast.Expr // nil for unconditional edges
+	Taken bool     // branch polarity when Cond is non-nil
+}
+
+// A Block is a basic block: statements and condition leaves in evaluation
+// order. The node list holds whole statements (assignments, calls, returns)
+// plus bare ast.Expr condition leaves introduced by branch decomposition.
+//
+// A *ast.RangeStmt in Nodes stands only for the evaluation of its X operand
+// and the per-iteration binding of Key/Value; its Body belongs to other
+// blocks. Every other node's full subtree (minus nested *ast.FuncLit
+// bodies) is evaluated within the block.
+type Block struct {
+	ID    int
+	Nodes []ast.Node
+	Succs []Edge
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  int
+	Exit   int // synthetic: returns, panics, and fallthrough-of-body edges land here
+}
+
+// preds returns, for each block, its incoming (source block, edge) pairs.
+type predEdge struct {
+	From int
+	Edge Edge
+}
+
+func (g *CFG) preds() [][]predEdge {
+	in := make([][]predEdge, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			in[e.To] = append(in[e.To], predEdge{From: b.ID, Edge: e})
+		}
+	}
+	return in
+}
+
+// New builds the CFG of one function body.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{labels: map[string]*Block{}}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.exit = exit
+	cur := b.stmts(body.List, entry)
+	if cur != nil {
+		// Control falls off the end of the body (implicit return).
+		cur.Succs = append(cur.Succs, Edge{To: exit.ID})
+	}
+	b.resolveGotos()
+	return &CFG{Blocks: b.blocks, Entry: entry.ID, Exit: exit.ID}
+}
+
+type loopCtx struct {
+	label string
+	brk   *Block // nil when break is not meaningful (should not happen)
+	cont  *Block // nil inside switch/select, where continue skips to the loop
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+	pos   token.Pos
+}
+
+type builder struct {
+	blocks []*Block
+	exit   *Block
+	loops  []loopCtx
+	labels map[string]*Block
+	gotos  []pendingGoto
+
+	// label to attach to the next loop/switch statement built, so that
+	// `break L` / `continue L` resolve to it.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{ID: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// stmts threads the statement list through cur, returning the block control
+// falls out of (nil if every path returns, panics, or jumps away).
+func (b *builder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for i, s := range list {
+		cur = b.stmt(s, cur)
+		if cur == nil {
+			// Anything after a terminating statement is unreachable; still
+			// build it (labels inside must resolve, and the analyzers skip
+			// blocks whose input fact stays bottom).
+			if i+1 < len(list) {
+				dead := b.newBlock()
+				if after := b.stmts(list[i+1:], dead); after != nil {
+					after.Succs = append(after.Succs, Edge{To: b.exit.ID})
+				}
+			}
+			return nil
+		}
+	}
+	return cur
+}
+
+func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
+	takeLabel := func() string {
+		l := b.pendingLabel
+		b.pendingLabel = ""
+		return l
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.LabeledStmt:
+		// Start a fresh block so goto/continue/break can target it.
+		blk := b.newBlock()
+		cur.Succs = append(cur.Succs, Edge{To: blk.ID})
+		b.labels[s.Label.Name] = blk
+		b.pendingLabel = s.Label.Name
+		out := b.stmt(s.Stmt, blk)
+		b.pendingLabel = ""
+		return out
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		then := b.newBlock()
+		join := b.newBlock()
+		elseTarget := join
+		var elseBlk *Block
+		if s.Else != nil {
+			elseBlk = b.newBlock()
+			elseTarget = elseBlk
+		}
+		b.branch(cur, s.Cond, then, elseTarget)
+		if out := b.stmts(s.Body.List, then); out != nil {
+			out.Succs = append(out.Succs, Edge{To: join.ID})
+		}
+		if s.Else != nil {
+			if out := b.stmt(s.Else, elseBlk); out != nil {
+				out.Succs = append(out.Succs, Edge{To: join.ID})
+			}
+		}
+		return join
+
+	case *ast.ForStmt:
+		label := takeLabel()
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		header := b.newBlock()
+		cur.Succs = append(cur.Succs, Edge{To: header.ID})
+		body := b.newBlock()
+		exit := b.newBlock()
+		if s.Cond != nil {
+			b.branch(header, s.Cond, body, exit)
+		} else {
+			header.Succs = append(header.Succs, Edge{To: body.ID})
+		}
+		// continue re-evaluates Post, then the condition.
+		cont := header
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			post.Succs = append(post.Succs, Edge{To: header.ID})
+			cont = post
+		}
+		b.loops = append(b.loops, loopCtx{label: label, brk: exit, cont: cont})
+		if out := b.stmts(s.Body.List, body); out != nil {
+			out.Succs = append(out.Succs, Edge{To: cont.ID})
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		return exit
+
+	case *ast.RangeStmt:
+		label := takeLabel()
+		header := b.newBlock()
+		// The RangeStmt node in the header stands for evaluating X and
+		// binding Key/Value each iteration (see Block).
+		header.Nodes = append(header.Nodes, s)
+		cur.Succs = append(cur.Succs, Edge{To: header.ID})
+		body := b.newBlock()
+		exit := b.newBlock()
+		header.Succs = append(header.Succs,
+			Edge{To: body.ID},
+			Edge{To: exit.ID})
+		b.loops = append(b.loops, loopCtx{label: label, brk: exit, cont: header})
+		if out := b.stmts(s.Body.List, body); out != nil {
+			out.Succs = append(out.Succs, Edge{To: header.ID})
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		return exit
+
+	case *ast.SwitchStmt:
+		label := takeLabel()
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+			return b.taggedSwitch(cur, s.Body.List, label)
+		}
+		return b.taglessSwitch(cur, s.Body.List, label)
+
+	case *ast.TypeSwitchStmt:
+		label := takeLabel()
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.taggedSwitch(cur, s.Body.List, label)
+
+	case *ast.SelectStmt:
+		label := takeLabel()
+		join := b.newBlock()
+		b.loops = append(b.loops, loopCtx{label: label, brk: join})
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			blk := b.newBlock()
+			cur.Succs = append(cur.Succs, Edge{To: blk.ID})
+			if comm.Comm != nil {
+				blk.Nodes = append(blk.Nodes, comm.Comm)
+			}
+			if out := b.stmts(comm.Body, blk); out != nil {
+				out.Succs = append(out.Succs, Edge{To: join.ID})
+			}
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		// select{} blocks forever: join keeps no incoming edge and any code
+		// after it stays unreachable, which is exactly right.
+		return join
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		cur.Succs = append(cur.Succs, Edge{To: b.exit.ID})
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.loopTarget(s.Label, func(l loopCtx) *Block { return l.brk }); t != nil {
+				cur.Succs = append(cur.Succs, Edge{To: t.ID})
+			}
+			return nil
+		case token.CONTINUE:
+			if t := b.loopTarget(s.Label, func(l loopCtx) *Block { return l.cont }); t != nil {
+				cur.Succs = append(cur.Succs, Edge{To: t.ID})
+			}
+			return nil
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: cur, label: s.Label.Name, pos: s.Pos()})
+			return nil
+		case token.FALLTHROUGH:
+			// Handled structurally by switchClauses; reaching here means a
+			// fallthrough outside a switch, which does not type-check.
+			return nil
+		}
+		return cur
+
+	default:
+		cur.Nodes = append(cur.Nodes, s)
+		if es, ok := s.(*ast.ExprStmt); ok && isTerminalCall(es.X) {
+			cur.Succs = append(cur.Succs, Edge{To: b.exit.ID})
+			return nil
+		}
+		return cur
+	}
+}
+
+// taglessSwitch lowers `switch { case c1: ... }` to the if/else chain it
+// means: case conditions are tested in source order, each through branch()
+// so analyzers get per-leaf refinement edges, with the default clause (or
+// the join) as the final false target. Fallthrough chains to the next
+// clause's body in source order; break targets the join.
+func (b *builder) taglessSwitch(cur *Block, clauses []ast.Stmt, label string) *Block {
+	join := b.newBlock()
+	bodies := make([]*Block, len(clauses))
+	defaultIdx := -1
+	var tested []int // indices of non-default clauses, in source order
+	for i, c := range clauses {
+		bodies[i] = b.newBlock()
+		if c.(*ast.CaseClause).List == nil {
+			defaultIdx = i
+		} else {
+			tested = append(tested, i)
+		}
+	}
+	fallbackTarget := join
+	if defaultIdx >= 0 {
+		fallbackTarget = bodies[defaultIdx]
+	}
+	test := cur
+	if len(tested) == 0 {
+		test.Succs = append(test.Succs, Edge{To: fallbackTarget.ID})
+	}
+	for k, i := range tested {
+		clause := clauses[i].(*ast.CaseClause)
+		falseTarget := fallbackTarget
+		if k+1 < len(tested) {
+			falseTarget = b.newBlock()
+		}
+		// A multi-expression case is the || of its conditions.
+		blk := test
+		for j, e := range clause.List {
+			if j+1 < len(clause.List) {
+				mid := b.newBlock()
+				b.branch(blk, e, bodies[i], mid)
+				blk = mid
+			} else {
+				b.branch(blk, e, bodies[i], falseTarget)
+			}
+		}
+		test = falseTarget
+	}
+	b.buildClauseBodies(clauses, bodies, join, label)
+	return join
+}
+
+// taggedSwitch builds `switch tag { ... }`, type switches, and any other
+// multi-way dispatch where the per-clause tests carry no refinable
+// condition: the head gets one edge per clause (case expressions evaluated
+// in the clause-entry block) plus an edge to the join when no default
+// clause exists.
+func (b *builder) taggedSwitch(cur *Block, clauses []ast.Stmt, label string) *Block {
+	join := b.newBlock()
+	hasDefault := false
+	bodies := make([]*Block, len(clauses))
+	for i, c := range clauses {
+		clause := c.(*ast.CaseClause)
+		bodies[i] = b.newBlock()
+		for _, e := range clause.List {
+			bodies[i].Nodes = append(bodies[i].Nodes, e)
+		}
+		if clause.List == nil {
+			hasDefault = true
+		}
+		cur.Succs = append(cur.Succs, Edge{To: bodies[i].ID})
+	}
+	if !hasDefault {
+		cur.Succs = append(cur.Succs, Edge{To: join.ID})
+	}
+	b.buildClauseBodies(clauses, bodies, join, label)
+	return join
+}
+
+// buildClauseBodies threads each clause body from its entry block to the
+// join, honoring a trailing fallthrough (which jumps to the next clause's
+// body, skipping its case expressions) and making break target the join.
+func (b *builder) buildClauseBodies(clauses []ast.Stmt, bodies []*Block, join *Block, label string) {
+	b.loops = append(b.loops, loopCtx{label: label, brk: join})
+	for i, c := range clauses {
+		clause := c.(*ast.CaseClause)
+		body := clause.Body
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		out := b.stmts(body, bodies[i])
+		if out != nil {
+			if fallsThrough && i+1 < len(clauses) {
+				out.Succs = append(out.Succs, Edge{To: bodies[i+1].ID})
+			} else {
+				out.Succs = append(out.Succs, Edge{To: join.ID})
+			}
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+}
+
+// branch wires cur to t (condition true) and f (condition false),
+// decomposing short-circuit operators into per-leaf blocks. Each leaf
+// expression is appended to the block that evaluates it, so analyzers see
+// its subexpressions (including any dereferences) with the facts that hold
+// at that point.
+func (b *builder) branch(cur *Block, cond ast.Expr, t, f *Block) {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.branch(cur, c.X, mid, f)
+			b.branch(mid, c.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.branch(cur, c.X, t, mid)
+			b.branch(mid, c.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			b.branch(cur, c.X, f, t)
+			return
+		}
+	}
+	leaf := ast.Unparen(cond)
+	cur.Nodes = append(cur.Nodes, leaf)
+	cur.Succs = append(cur.Succs,
+		Edge{To: t.ID, Cond: leaf, Taken: true},
+		Edge{To: f.ID, Cond: leaf, Taken: false})
+}
+
+func (b *builder) loopTarget(label *ast.Ident, sel func(loopCtx) *Block) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		l := b.loops[i]
+		if label != nil && l.label != label.Name {
+			continue
+		}
+		if t := sel(l); t != nil {
+			return t
+		}
+		if label != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			g.from.Succs = append(g.from.Succs, Edge{To: target.ID})
+		}
+		// An unresolved label cannot occur in type-checked code; dropping
+		// the edge merely leaves the target unreachable, which is the
+		// conservative direction for the analyzers (no facts, no reports).
+	}
+}
+
+// isTerminalCall reports whether the expression is a call that never
+// returns: the panic builtin or os.Exit. Matching os.Exit syntactically
+// (selector on an identifier named os) is deliberate — the CFG layer has no
+// type information, and a false positive merely ends a block early.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name == "os" && fun.Sel.Name == "Exit"
+		}
+	}
+	return false
+}
+
+// FuncBodies returns every function body under root in source order: the
+// body of each FuncDecl and of each FuncLit (including literals nested in
+// other literals). Analyzers build one CFG per body; a literal's body is
+// never part of its enclosing function's CFG.
+func FuncBodies(root ast.Node) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, n.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// String renders the CFG compactly for tests and debugging:
+// each block as "bN[k nodes] -> succs".
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d[%d]", blk.ID, len(blk.Nodes))
+		if blk.ID == g.Entry {
+			sb.WriteString(" entry")
+		}
+		if blk.ID == g.Exit {
+			sb.WriteString(" exit")
+		}
+		sb.WriteString(" ->")
+		for _, e := range blk.Succs {
+			if e.Cond != nil {
+				fmt.Fprintf(&sb, " b%d(%v)", e.To, e.Taken)
+			} else {
+				fmt.Fprintf(&sb, " b%d", e.To)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

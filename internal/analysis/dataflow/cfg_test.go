@@ -1,0 +1,360 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src as a file, finds the function named name, and
+// returns its CFG.
+func buildFunc(t *testing.T, src, name string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == name {
+			return New(fn.Body)
+		}
+	}
+	t.Fatalf("no function %q in source", name)
+	return nil
+}
+
+// checkInvariants asserts the structural properties every CFG must have:
+// edge targets in range, condition edges in true/false pairs leaving the
+// same block, and the exit block having no successors.
+func checkInvariants(t *testing.T, g *CFG) {
+	t.Helper()
+	for _, b := range g.Blocks {
+		conds := map[ast.Expr][]bool{}
+		for _, e := range b.Succs {
+			if e.To < 0 || e.To >= len(g.Blocks) {
+				t.Errorf("b%d: edge target %d out of range", b.ID, e.To)
+			}
+			if e.Cond != nil {
+				conds[e.Cond] = append(conds[e.Cond], e.Taken)
+			}
+		}
+		for c, takens := range conds {
+			if len(takens) != 2 || takens[0] == takens[1] {
+				t.Errorf("b%d: condition %v has polarities %v, want one true and one false", b.ID, c, takens)
+			}
+		}
+	}
+	if n := len(g.Blocks[g.Exit].Succs); n != 0 {
+		t.Errorf("exit block has %d successors, want 0", n)
+	}
+}
+
+// reachable returns the set of blocks reachable from entry.
+func reachable(g *CFG) map[int]bool {
+	seen := map[int]bool{g.Entry: true}
+	stack := []int{g.Entry}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Blocks[id].Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) int {
+	y := 0
+	if x > 0 {
+		y = 1
+	} else {
+		y = 2
+	}
+	return y
+}`, "f")
+	checkInvariants(t, g)
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// The branch block must carry a true and a false edge on x > 0.
+	found := false
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond != nil {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no condition edges built:\n%s", g)
+	}
+}
+
+func TestShortCircuitDecomposition(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(a, b, c bool) int {
+	if a && (b || !c) {
+		return 1
+	}
+	return 0
+}`, "f")
+	checkInvariants(t, g)
+	// Three leaves (a, b, c) must each appear as an edge condition.
+	leaves := map[string]bool{}
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if id, ok := e.Cond.(*ast.Ident); ok {
+				leaves[id.Name] = true
+			}
+		}
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if !leaves[name] {
+			t.Errorf("short-circuit leaf %s not on any edge:\n%s", name, g)
+		}
+	}
+}
+
+func TestLoopsBreakContinue(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 3 {
+				continue outer
+			}
+			if j == 4 {
+				break outer
+			}
+			s += j
+		}
+	}
+	return s
+}`, "f")
+	checkInvariants(t, g)
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// The graph must contain a cycle (the loop back edge).
+	if !hasCycle(g) {
+		t.Errorf("loop produced no back edge:\n%s", g)
+	}
+}
+
+func hasCycle(g *CFG) bool {
+	color := make([]int, len(g.Blocks)) // 0 white, 1 gray, 2 black
+	var dfs func(int) bool
+	dfs = func(id int) bool {
+		color[id] = 1
+		for _, e := range g.Blocks[id].Succs {
+			if color[e.To] == 1 {
+				return true
+			}
+			if color[e.To] == 0 && dfs(e.To) {
+				return true
+			}
+		}
+		color[id] = 2
+		return false
+	}
+	return dfs(g.Entry)
+}
+
+func TestReturnAndPanicTerminate(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	if x == 0 {
+		return 7
+	}
+	return x
+}`, "f")
+	checkInvariants(t, g)
+	// Every reachable block without successors must be the exit.
+	for id := range reachable(g) {
+		b := g.Blocks[id]
+		if len(b.Succs) == 0 && id != g.Exit {
+			t.Errorf("reachable b%d dead-ends outside exit:\n%s", id, g)
+		}
+	}
+}
+
+func TestTaglessSwitchIsChain(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) string {
+	switch {
+	case x < 0:
+		return "neg"
+	case x == 0, x == 1:
+		return "small"
+	default:
+		return "big"
+	}
+}`, "f")
+	checkInvariants(t, g)
+	// All three case conditions appear as edge conditions.
+	n := 0
+	seen := map[ast.Expr]bool{}
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if e.Cond != nil && !seen[e.Cond] {
+				seen[e.Cond] = true
+				n++
+			}
+		}
+	}
+	if n != 3 {
+		t.Errorf("tag-less switch produced %d distinct conditions, want 3:\n%s", n, g)
+	}
+}
+
+func TestTaggedSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) int {
+	y := 0
+	switch x {
+	case 1:
+		y = 1
+		fallthrough
+	case 2:
+		y += 2
+	default:
+		y = 9
+	}
+	return y
+}`, "f")
+	checkInvariants(t, g)
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestTypeSwitchAndSelect(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(v interface{}, ch chan int) int {
+	switch v := v.(type) {
+	case int:
+		return v
+	case string:
+		return len(v)
+	}
+	select {
+	case x := <-ch:
+		return x
+	default:
+		return 0
+	}
+}`, "f")
+	checkInvariants(t, g)
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestRangeHeader(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}`, "f")
+	checkInvariants(t, g)
+	// The RangeStmt must sit in exactly one block (the loop header).
+	count := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				count++
+			}
+		}
+	}
+	if count != 1 {
+		t.Errorf("RangeStmt appears in %d blocks, want 1:\n%s", count, g)
+	}
+	if !hasCycle(g) {
+		t.Errorf("range loop produced no back edge:\n%s", g)
+	}
+}
+
+func TestGotoResolves(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}`, "f")
+	checkInvariants(t, g)
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	if !hasCycle(g) {
+		t.Errorf("goto loop produced no back edge:\n%s", g)
+	}
+}
+
+func TestDeadCodeAfterReturnIsUnreachable(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() int {
+	return 1
+	var x int
+	_ = x
+	return 2
+}`, "f")
+	checkInvariants(t, g)
+	r := reachable(g)
+	// Some block must be unreachable (the code after return).
+	unreached := 0
+	for _, b := range g.Blocks {
+		if !r[b.ID] {
+			unreached++
+		}
+	}
+	if unreached == 0 {
+		t.Errorf("code after return is reachable:\n%s", g)
+	}
+}
+
+func TestFuncBodiesFindsLiterals(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", `package p
+func a() { _ = func() { _ = func() {} } }
+func b() {}`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := FuncBodies(f)
+	if len(bodies) != 4 {
+		t.Fatalf("FuncBodies found %d bodies, want 4", len(bodies))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x bool) {
+	if x {
+		return
+	}
+}`, "f")
+	s := g.String()
+	if !strings.Contains(s, "entry") || !strings.Contains(s, "exit") {
+		t.Errorf("String() missing entry/exit markers:\n%s", s)
+	}
+}

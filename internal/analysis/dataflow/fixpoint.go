@@ -1,0 +1,207 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// A Fact is one lattice element. Facts are opaque to the solver; the
+// Lattice supplies ordering-free structure (bottom, join, equality) and the
+// Transfer supplies the semantics of nodes and branch edges.
+type Fact interface{}
+
+// A Lattice describes the join-semilattice an analysis computes over.
+//
+// Termination is by construction: the solver re-processes a block only when
+// its input fact strictly rises, and Height bounds the length of any
+// strictly rising chain, so the total number of block evaluations is at
+// most |blocks| * (Height + 1). The solver enforces that bound explicitly
+// (see ErrNonMonotone) instead of trusting the implementation: a buggy
+// Join or Equal turns into an error, never an infinite loop.
+type Lattice interface {
+	// Bottom is the fact of an unreachable program point. The solver never
+	// applies transfer functions to bottom inputs; blocks whose input stays
+	// bottom are dead code.
+	Bottom() Fact
+	// Boundary is the fact at the analysis boundary: function entry for
+	// forward analyses, function exit for backward ones.
+	Boundary() Fact
+	// Join computes the least upper bound of two facts.
+	Join(a, b Fact) Fact
+	// Equal reports whether two facts are the same lattice element.
+	Equal(a, b Fact) bool
+	// Height is (an upper bound on) the length of the longest strictly
+	// rising chain bottom < f1 < ... < top.
+	Height() int
+}
+
+// A Transfer gives the abstract semantics of one analysis.
+type Transfer interface {
+	// Node transforms the fact across one block node (a statement or a
+	// condition leaf). It must be monotone in fact and must not mutate its
+	// argument; return a fresh fact when anything changes.
+	Node(n ast.Node, fact Fact) Fact
+	// Branch refines the fact along a conditional edge: cond evaluated to
+	// taken. It may return bottom to mark the edge infeasible. Like Node it
+	// must not mutate its argument.
+	Branch(cond ast.Expr, taken bool, fact Fact) Fact
+}
+
+// Direction selects forward (entry→exit) or backward (exit→entry) flow.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// A Result holds the fixpoint: for each block ID, the fact at block entry
+// (In) and block exit (Out), in the direction of the analysis — for
+// backward analyses In[b] holds after b's last node and Out[b] before its
+// first.
+type Result struct {
+	In  []Fact
+	Out []Fact
+}
+
+// ErrNonMonotone is returned when the solver exceeds its iteration bound,
+// which can only happen if the Lattice or Transfer breaks the monotonicity
+// contract (or Height underestimates the true chain length).
+var ErrNonMonotone = fmt.Errorf("dataflow: fixpoint iteration bound exceeded (non-monotone transfer or wrong lattice height)")
+
+// Solve runs the worklist algorithm to fixpoint and returns the per-block
+// facts. It performs at most (|blocks|+|edges|) * (Height+2) block
+// evaluations and returns ErrNonMonotone beyond that, so it terminates on
+// every input by construction.
+func Solve(g *CFG, lat Lattice, tr Transfer, dir Direction) (*Result, error) {
+	n := len(g.Blocks)
+	res := &Result{In: make([]Fact, n), Out: make([]Fact, n)}
+	bottom := lat.Bottom()
+	for i := 0; i < n; i++ {
+		res.In[i] = bottom
+		res.Out[i] = bottom
+	}
+
+	// flow[b] lists the edges whose facts join to form In[b]; next[b] lists
+	// the blocks to re-queue when Out[b] rises. Both are direction-adjusted
+	// so one loop body serves forward and backward analyses.
+	flow := make([][]predEdge, n)
+	next := make([][]int, n)
+	start := g.Entry
+	if dir == Forward {
+		flow = g.preds()
+		for _, b := range g.Blocks {
+			for _, e := range b.Succs {
+				next[b.ID] = append(next[b.ID], e.To)
+			}
+		}
+	} else {
+		start = g.Exit
+		for _, b := range g.Blocks {
+			for _, e := range b.Succs {
+				flow[b.ID] = append(flow[b.ID], predEdge{From: e.To, Edge: e})
+				next[e.To] = append(next[e.To], b.ID)
+			}
+		}
+	}
+
+	// The worklist is a FIFO with membership bits: standard round-robin
+	// iteration, deterministic because blocks enter in discovery order.
+	queue := []int{start}
+	queued := make([]bool, n)
+	queued[start] = true
+
+	// A block is re-queued only when a flow-in neighbor's Out strictly
+	// rose. Each Out rises at most Height times, and each rise re-queues at
+	// most the edge's targets once (the membership bits dedupe), so a
+	// correct analysis pops at most n + |edges|*Height blocks; (n+E)*(H+2)
+	// leaves slack. Exceeding the bound means the monotonicity contract is
+	// broken; fail loudly instead of spinning.
+	edges := 0
+	for _, b := range g.Blocks {
+		edges += len(b.Succs)
+	}
+	bound := (n + edges) * (lat.Height() + 2)
+	if bound < n {
+		bound = n
+	}
+	steps := 0
+
+	for len(queue) > 0 {
+		if steps++; steps > bound {
+			return nil, ErrNonMonotone
+		}
+		id := queue[0]
+		queue = queue[1:]
+		queued[id] = false
+
+		// In[id] = boundary (for the start block) ⊔ join over flow edges.
+		in := bottom
+		if id == start {
+			in = lat.Boundary()
+		}
+		for _, pe := range flow[id] {
+			f := res.Out[pe.From]
+			if lat.Equal(f, bottom) {
+				continue // unreachable neighbor contributes nothing
+			}
+			if pe.Edge.Cond != nil {
+				f = tr.Branch(pe.Edge.Cond, pe.Edge.Taken, f)
+			}
+			in = lat.Join(in, f)
+		}
+		res.In[id] = in
+
+		out := in
+		if !lat.Equal(in, bottom) {
+			out = applyNodes(g.Blocks[id], tr, in, dir)
+		}
+		if lat.Equal(out, res.Out[id]) {
+			continue // no change: downstream blocks already saw this fact
+		}
+		res.Out[id] = out
+		for _, t := range next[id] {
+			if !queued[t] {
+				queued[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	return res, nil
+}
+
+// WalkForward replays a solved forward analysis over every reachable
+// block, calling visit for each node with the fact that holds immediately
+// before it. This is the reporting phase of the flow-sensitive analyzers:
+// Solve computes the fixpoint, WalkForward pairs each program point with
+// its fact so diagnostics fire only on feasible paths. Unreachable blocks
+// (input still bottom) are skipped.
+func WalkForward(g *CFG, lat Lattice, tr Transfer, res *Result, visit func(n ast.Node, before Fact)) {
+	bottom := lat.Bottom()
+	for _, b := range g.Blocks {
+		f := res.In[b.ID]
+		if lat.Equal(f, bottom) {
+			continue
+		}
+		for _, n := range b.Nodes {
+			visit(n, f)
+			f = tr.Node(n, f)
+		}
+	}
+}
+
+// applyNodes folds the transfer function over the block's nodes in
+// direction order.
+func applyNodes(b *Block, tr Transfer, in Fact, dir Direction) Fact {
+	f := in
+	if dir == Forward {
+		for _, n := range b.Nodes {
+			f = tr.Node(n, f)
+		}
+		return f
+	}
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		f = tr.Node(b.Nodes[i], f)
+	}
+	return f
+}

@@ -1,0 +1,258 @@
+package dataflow
+
+import (
+	"errors"
+	"go/ast"
+	"testing"
+)
+
+// ---- a small but real forward analysis: definite assignment ----
+//
+// Fact: the set of variable names definitely assigned on every path.
+// Join = intersection, bottom = a sentinel "unreachable", boundary = {}.
+// Height: each name can only be removed from the set as facts join, so a
+// chain can rise (sets shrink toward the join) at most once per name.
+
+type defAssign struct{ vars []string }
+
+type daFact struct {
+	unreachable bool
+	set         map[string]bool
+}
+
+func (d defAssign) Bottom() Fact   { return daFact{unreachable: true} }
+func (d defAssign) Boundary() Fact { return daFact{set: map[string]bool{}} }
+func (d defAssign) Height() int    { return len(d.vars) + 1 }
+
+func (d defAssign) Join(a, b Fact) Fact {
+	x, y := a.(daFact), b.(daFact)
+	if x.unreachable {
+		return y
+	}
+	if y.unreachable {
+		return x
+	}
+	out := map[string]bool{}
+	for k := range x.set {
+		if y.set[k] {
+			out[k] = true
+		}
+	}
+	return daFact{set: out}
+}
+
+func (d defAssign) Equal(a, b Fact) bool {
+	x, y := a.(daFact), b.(daFact)
+	if x.unreachable != y.unreachable {
+		return false
+	}
+	if len(x.set) != len(y.set) {
+		return false
+	}
+	for k := range x.set {
+		if !y.set[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (d defAssign) Node(n ast.Node, f Fact) Fact {
+	df := f.(daFact)
+	assigned := []string{}
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				assigned = append(assigned, id.Name)
+			}
+		}
+	}
+	if len(assigned) == 0 {
+		return f
+	}
+	out := map[string]bool{}
+	for k := range df.set {
+		out[k] = true
+	}
+	for _, name := range assigned {
+		out[name] = true
+	}
+	return daFact{set: out}
+}
+
+func (d defAssign) Branch(cond ast.Expr, taken bool, f Fact) Fact { return f }
+
+func solveDef(t *testing.T, src string) (*CFG, *Result, defAssign) {
+	t.Helper()
+	g := buildFunc(t, src, "f")
+	lat := defAssign{vars: []string{"x", "y", "z"}}
+	res, err := Solve(g, lat, lat, Forward)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return g, res, lat
+}
+
+func TestDefiniteAssignmentJoin(t *testing.T) {
+	g, res, _ := solveDef(t, `package p
+func f(c bool) {
+	if c {
+		x := 1
+		y := 2
+		_, _ = x, y
+	} else {
+		x := 3
+		_ = x
+	}
+	z := 4
+	_ = z
+}`)
+	exit := res.In[g.Exit].(daFact)
+	if exit.unreachable {
+		t.Fatal("exit fact is unreachable")
+	}
+	// x is assigned on both branches, y on only one, z after the join.
+	if !exit.set["x"] || !exit.set["z"] {
+		t.Errorf("x and z must be definitely assigned at exit, got %v", exit.set)
+	}
+	if exit.set["y"] {
+		t.Errorf("y is assigned on one branch only, must not be definite at exit, got %v", exit.set)
+	}
+}
+
+// TestTerminationLoopHeavy is the acceptance-criteria test: the solver
+// reaches a fixpoint on a function dense with nested loops, gotos, labeled
+// continues, and switches, within its explicit iteration bound.
+func TestTerminationLoopHeavy(t *testing.T) {
+	_, res, _ := solveDef(t, `package p
+func f(n int) int {
+	s := 0
+	x := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case j == 1:
+				continue outer
+			case j == 2:
+				break outer
+			}
+			for k := 0; k < n; k++ {
+				if k%2 == 0 {
+					continue
+				}
+				s += k
+			}
+		}
+		if i > 10 {
+			goto done
+		}
+		x = i
+	}
+done:
+	for {
+		if s > 100 {
+			break
+		}
+		s += x
+	}
+	return s
+}`)
+	if res == nil {
+		t.Fatal("no result")
+	}
+}
+
+// brokenLattice violates the monotonicity contract: Equal always reports
+// false, so every evaluation looks like a change and the worklist never
+// drains. The explicit iteration bound must convert that into
+// ErrNonMonotone instead of an infinite loop.
+type brokenLattice struct{ defAssign }
+
+func (brokenLattice) Equal(a, b Fact) bool { return false }
+
+func TestIterationBoundTripsOnBrokenLattice(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`, "f")
+	lat := brokenLattice{defAssign{vars: []string{"s", "i"}}}
+	_, err := Solve(g, lat, lat, Forward)
+	if !errors.Is(err, ErrNonMonotone) {
+		t.Fatalf("Solve on a non-converging lattice returned %v, want ErrNonMonotone", err)
+	}
+}
+
+// ---- a tiny backward analysis: "this point can reach a return" ----
+
+type reachesExit struct{}
+
+type reFact int // 0 bottom, 1 no, 2 yes — but we only need bottom/yes
+
+func (reachesExit) Bottom() Fact                            { return reFact(0) }
+func (reachesExit) Boundary() Fact                          { return reFact(2) }
+func (reachesExit) Height() int                             { return 2 }
+func (reachesExit) Equal(a, b Fact) bool                    { return a.(reFact) == b.(reFact) }
+func (reachesExit) Node(n ast.Node, f Fact) Fact            { return f }
+func (reachesExit) Branch(c ast.Expr, tk bool, f Fact) Fact { return f }
+func (reachesExit) Join(a, b Fact) Fact {
+	if a.(reFact) > b.(reFact) {
+		return a
+	}
+	return b
+}
+
+func TestBackwardReachability(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	for {
+	}
+}`, "f")
+	lat := reachesExit{}
+	res, err := Solve(g, lat, lat, Backward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The entry must reach the exit (via the return branch).
+	if res.Out[g.Entry].(reFact) != 2 {
+		t.Errorf("entry cannot reach exit in backward analysis:\n%s", g)
+	}
+}
+
+func TestWalkForwardVisitsReachableNodes(t *testing.T) {
+	g, res, lat := solveDef(t, `package p
+func f(c bool) {
+	x := 1
+	if c {
+		y := 2
+		_ = y
+	}
+	_ = x
+	return
+	z := 3
+	_ = z
+}`)
+	visited := 0
+	sawDead := false
+	WalkForward(g, lat, lat, res, func(n ast.Node, before Fact) {
+		visited++
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "z" {
+				sawDead = true
+			}
+		}
+	})
+	if visited == 0 {
+		t.Fatal("WalkForward visited nothing")
+	}
+	if sawDead {
+		t.Error("WalkForward visited code after return (unreachable block)")
+	}
+}

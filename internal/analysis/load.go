@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -33,7 +34,9 @@ type Package struct {
 //   - everything else, delegated to the standard library's source importer.
 //
 // Loaded packages are memoized, so shared dependencies type-check once.
-// Test files (_test.go) are skipped: the analyzers target production code.
+// Test files (_test.go) and files excluded by build constraints under the
+// host build context are skipped: the analyzers target the production
+// build. A directory containing only such files is not a package.
 type Loader struct {
 	Fset *token.FileSet
 
@@ -121,11 +124,28 @@ func hasGoFiles(dir string) bool {
 		return false
 	}
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+		if !e.IsDir() && includeGoFile(dir, e.Name()) {
 			return true
 		}
 	}
 	return false
+}
+
+// includeGoFile reports whether the named file belongs to the production
+// build of the package in dir: a .go file that is not a test file, not
+// hidden or tool-ignored (leading "." or "_"), and not excluded by build
+// constraints — //go:build lines or GOOS/GOARCH file-name suffixes — under
+// the host build context. Using one predicate for both package discovery
+// (ModulePackages, dirFor) and loading (parseAndCheck) keeps the two views
+// consistent: a directory whose every .go file is excluded is not a
+// package at all, rather than a package that fails to load.
+func includeGoFile(dir, name string) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+		return false
+	}
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
 }
 
 // Import implements types.Importer, so a Loader can resolve the imports of
@@ -172,12 +192,10 @@ func (l *Loader) parseAndCheck(path, dir string) (*Package, error) {
 	}
 	var names []string
 	for _, e := range entries {
-		n := e.Name()
-		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
-			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+		if e.IsDir() || !includeGoFile(dir, e.Name()) {
 			continue
 		}
-		names = append(names, n)
+		names = append(names, e.Name())
 	}
 	sort.Strings(names)
 	if len(names) == 0 {

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out files (relative path → content) under root.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for rel, content := range files {
+		fn := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(fn), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fn, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoadTestsOnlyPackage pins the tests-only edge case: a directory
+// holding nothing but _test.go files is not a package — Load reports it
+// (no panic), and ModulePackages does not list it in the first place.
+func TestLoadTestsOnlyPackage(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":                 "module example.com/m\n\ngo 1.22\n",
+		"ok/ok.go":               "package ok\n\nfunc OK() int { return 1 }\n",
+		"onlytests/only_test.go": "package onlytests\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) {}\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if strings.Contains(p, "onlytests") {
+			t.Errorf("ModulePackages listed tests-only directory: %v", paths)
+		}
+	}
+	if len(paths) != 1 || paths[0] != "example.com/m/ok" {
+		t.Errorf("ModulePackages = %v, want [example.com/m/ok]", paths)
+	}
+	if _, err := loader.Load("example.com/m/onlytests"); err == nil {
+		t.Error("Load on a tests-only directory succeeded, want an error")
+	} else if !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("Load error = %v, want a no-Go-files report", err)
+	}
+}
+
+// TestLoadBuildTagExcluded pins build-constraint handling: files excluded
+// by a //go:build line or a GOOS file-name suffix are not parsed, so their
+// contents (here: declarations that would collide) never reach the type
+// checker.
+func TestLoadBuildTagExcluded(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":    "module example.com/m\n\ngo 1.22\n",
+		"p/main.go": "package p\n\nfunc F() int { return 1 }\n",
+		"p/ignored.go": "//go:build neverenabled\n\n" +
+			"package p\n\nfunc F() int { return 2 }\n",
+		"p/other_plan9.go": "package p\n\nfunc F() int { return 3 }\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("example.com/m/p")
+	if err != nil {
+		t.Fatalf("Load with excluded files failed: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Errorf("loaded %d files, want only main.go", len(pkg.Files))
+	}
+	for name := range pkg.Sources {
+		if !strings.HasSuffix(name, "main.go") {
+			t.Errorf("excluded file %s was loaded", name)
+		}
+	}
+}
+
+// TestLoadSyntaxError pins the malformed-input edge case: a file that does
+// not parse produces an error naming the file — a report, not a panic, so
+// one broken file cannot take down a whole lint run.
+func TestLoadSyntaxError(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":       "module example.com/m\n\ngo 1.22\n",
+		"bad/bad.go":   "package bad\n\nfunc Broken( {\n",
+		"good/good.go": "package good\n\nfunc G() {}\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load("example.com/m/bad"); err == nil {
+		t.Error("Load on a syntax-error file succeeded, want an error")
+	} else if !strings.Contains(err.Error(), "bad.go") {
+		t.Errorf("Load error = %v, want it to name bad.go", err)
+	}
+	// The same loader still works for healthy packages afterwards.
+	if _, err := loader.Load("example.com/m/good"); err != nil {
+		t.Errorf("Load of a healthy package after a syntax error failed: %v", err)
+	}
+}
+
+// TestLoadTypeErrorIsReported pins the type-error path: well-formed syntax
+// with a type error is reported with the package path, not panicked on.
+func TestLoadTypeErrorIsReported(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":     "module example.com/m\n\ngo 1.22\n",
+		"twe/twe.go": "package twe\n\nfunc F() int { return \"not an int\" }\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load("example.com/m/twe"); err == nil {
+		t.Error("Load on a type-error file succeeded, want an error")
+	} else if !strings.Contains(err.Error(), "type errors") {
+		t.Errorf("Load error = %v, want a type-errors report", err)
+	}
+}

@@ -56,8 +56,17 @@ func Run(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Finding, e
 			out = append(out, f)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortFindings(out)
+	return out, nil
+}
+
+// SortFindings orders findings by file, line, column, then analyzer name —
+// the canonical order for human and -json output. Sorting the combined
+// findings of several packages through this single comparator keeps CI
+// output byte-stable regardless of package load order.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -69,7 +78,6 @@ func Run(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Finding, e
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
 }
 
 // ignores records //lint:ignore directives by file, line, and analyzer name.

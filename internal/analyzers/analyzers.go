@@ -7,17 +7,23 @@ package analyzers
 import (
 	"dprle/internal/analysis"
 	"dprle/internal/analyzers/budgetcheck"
+	"dprle/internal/analyzers/budgetflow"
 	"dprle/internal/analyzers/ctxbudget"
 	"dprle/internal/analyzers/mapiterorder"
+	"dprle/internal/analyzers/nilness"
 	"dprle/internal/analyzers/panicguard"
+	"dprle/internal/analyzers/sharemut"
 )
 
 // All returns every analyzer in the suite, sorted by name.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		budgetcheck.Analyzer,
+		budgetflow.Analyzer,
 		ctxbudget.Analyzer,
 		mapiterorder.Analyzer,
+		nilness.Analyzer,
 		panicguard.Analyzer,
+		sharemut.Analyzer,
 	}
 }

@@ -1,0 +1,143 @@
+// Package budgetflow is the path-sensitive upgrade of budgetcheck and
+// ctxbudget: instead of asking "does this budget-threaded function ever
+// call an un-budgeted construction", it asks "on which paths". The
+// dataflow engine tracks the nilness of every *budget.Budget variable in
+// scope, so the analyzer can tell the legitimate degradation branch
+// (`if bud == nil { ... }` — the budget is provably absent) from the bug
+// the suite exists to catch: a budget threaded on the happy path but
+// dropped on an error or early-return path.
+package budgetflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"dprle/internal/analysis"
+	"dprle/internal/analysis/dataflow"
+	"dprle/internal/analyzers/lintutil"
+	"dprle/internal/analyzers/nilfacts"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "budgetflow",
+	Doc: `flag paths where a live budget is dropped from a budgeted call
+
+Inside a function that binds a *budget.Budget variable (parameter or
+local), a forward dataflow analysis tracks whether each budget is nil,
+non-nil, or unknown along every path. Two findings:
+
+F1 — a call to a *B budgeted variant passing a nil budget (the literal, or
+a variable that is provably nil on this path) while some budget in scope
+may still be live: the construction runs unaccounted on exactly this path,
+typically an error or early-return branch that was wired up in a hurry.
+Under "if bud == nil" the same call is clean — the budget is provably
+absent, so nil is the only thing to pass.
+
+F2 — a call to an un-budgeted construction that has a *B sibling, on a
+path where a budget in scope may be live. This is budgetcheck's R1 made
+path-sensitive: the degradation branch (budget provably nil) is exempt.
+
+Suppress with //lint:ignore dprlelint/budgetflow <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var err error
+		ast.Inspect(file, func(n ast.Node) bool {
+			if err != nil {
+				return false
+			}
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					err = checkFunc(pass, fn, fn.Body)
+				}
+			case *ast.FuncLit:
+				err = checkFunc(pass, fn, fn.Body)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) error {
+	tracked := nilfacts.TrackedVars(pass.TypesInfo, fn, body, lintutil.IsBudgetPtr)
+	if len(tracked) == 0 {
+		return nil
+	}
+	lat := &nilfacts.Lattice{Info: pass.TypesInfo, Tracked: tracked}
+	g := dataflow.New(body)
+	res, err := dataflow.Solve(g, lat, lat, dataflow.Forward)
+	if err != nil {
+		return err
+	}
+	reported := map[ast.Node]bool{}
+	dataflow.WalkForward(g, lat, lat, res, func(n ast.Node, before dataflow.Fact) {
+		checkNode(pass, lat, n, before.(*nilfacts.Facts), reported)
+	})
+	return nil
+}
+
+func checkNode(pass *analysis.Pass, lat *nilfacts.Lattice, n ast.Node, f *nilfacts.Facts, reported map[ast.Node]bool) {
+	if rng, ok := n.(*ast.RangeStmt); ok {
+		n = rng.X
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false // has its own CFG and its own budget scope
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok || reported[call] {
+			return true
+		}
+		callee := lintutil.Callee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		live := liveBudget(lat, f)
+		if live == nil {
+			return true // every budget in scope is provably nil: degradation path
+		}
+		switch {
+		case lintutil.IsBudgetedVariant(callee) && len(call.Args) > 0:
+			// F1: nil budget argument while a budget may be live.
+			if lat.Eval(call.Args[0], f) == nilfacts.Nil {
+				reported[call] = true
+				pass.Reportf(call.Pos(),
+					"budget dropped on this path: %s is called with a nil budget while %s may be live; thread %s through (or guard this path with %s == nil)",
+					callee.Name(), live.Name(), live.Name(), live.Name())
+			}
+		case lintutil.BudgetedSibling(callee) != nil:
+			// F2: un-budgeted construction while a budget may be live.
+			sib := lintutil.BudgetedSibling(callee)
+			reported[call] = true
+			pass.Reportf(call.Pos(),
+				"un-budgeted %s reached on a path where %s may be live; use %s and pass %s",
+				callee.Name(), live.Name(), sib.Name(), live.Name())
+		}
+		return true
+	})
+}
+
+// liveBudget returns a budget variable in scope whose fact is not
+// provably nil (the earliest-declared one, for deterministic messages),
+// or nil when every tracked budget is provably nil at this point.
+func liveBudget(lat *nilfacts.Lattice, f *nilfacts.Facts) *types.Var {
+	var vars []*types.Var
+	for v := range lat.Tracked {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+	for _, v := range vars {
+		if f.Get(v) != nilfacts.Nil {
+			return v
+		}
+	}
+	return nil
+}

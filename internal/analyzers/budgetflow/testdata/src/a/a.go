@@ -1,0 +1,83 @@
+package a
+
+import "budget"
+
+// DeterminizeB / Determinize model the solver's sibling convention.
+
+func DeterminizeB(bud *budget.Budget, x int) (int, error) {
+	if err := bud.AddStates(1, "determinize"); err != nil {
+		return 0, err
+	}
+	return x + 1, nil
+}
+
+// Clean: no budget in scope — the un-budgeted wrapper's own nil call is
+// the convention, not a dropped budget.
+func Determinize(x int) int {
+	d, _ := DeterminizeB(nil, x)
+	return d
+}
+
+// F1: the error path re-runs the construction with a nil budget while the
+// caller's budget is still live.
+func DropOnError(bud *budget.Budget, x int) (int, error) {
+	y, err := DeterminizeB(bud, x)
+	if err != nil {
+		z, _ := DeterminizeB(nil, x) // want `budget dropped on this path: DeterminizeB is called with a nil budget while bud may be live`
+		return z, nil
+	}
+	return y, nil
+}
+
+// Clean: under "bud == nil" the budget is provably absent, so passing the
+// literal nil is the degradation idiom, not a bug.
+func Degrade(bud *budget.Budget, x int) int {
+	if bud == nil {
+		y, _ := DeterminizeB(nil, x)
+		return y
+	}
+	y, err := DeterminizeB(bud, x)
+	if err != nil {
+		return 0
+	}
+	return y
+}
+
+// F2: the un-budgeted sibling is reached on the path where the budget is
+// provably live (refined non-nil by the guard).
+func Mixed(bud *budget.Budget, x int) (int, error) {
+	if bud == nil {
+		return Determinize(x), nil // clean: degradation path
+	}
+	y := Determinize(x) // want `un-budgeted Determinize reached on a path where bud may be live; use DeterminizeB and pass bud`
+	return y, nil
+}
+
+// F1+F2 with a locally constructed budget.
+func Run(x int) (int, error) {
+	bud := budget.New(100)
+	y, err := DeterminizeB(bud, x)
+	if err != nil {
+		z := Determinize(x) // want `un-budgeted Determinize reached on a path where bud may be live; use DeterminizeB and pass bud`
+		return z, nil
+	}
+	w, _ := DeterminizeB(nil, y) // want `budget dropped on this path: DeterminizeB is called with a nil budget while bud may be live`
+	return w, nil
+}
+
+// Clean: budget threaded through on every path.
+func WellThreaded(bud *budget.Budget, x int) (int, error) {
+	y, err := DeterminizeB(bud, x)
+	if err != nil {
+		return 0, err
+	}
+	return DeterminizeB(bud, y)
+}
+
+// Clean: the budget variable is reassigned to nil before the call — a
+// deliberate local degradation the analysis respects.
+func Shed(bud *budget.Budget, x int) int {
+	bud = nil
+	y, _ := DeterminizeB(nil, x)
+	return y
+}

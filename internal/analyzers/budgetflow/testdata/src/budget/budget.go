@@ -1,0 +1,21 @@
+// Package budget is a minimal stand-in for dprle/internal/budget: the
+// analyzers match the Budget type by name and package-path suffix, so
+// fixtures can exercise the budget rules without importing the real module.
+package budget
+
+import "errors"
+
+type Budget struct{ remaining int64 }
+
+func New(n int64) *Budget { return &Budget{remaining: n} }
+
+func (b *Budget) AddStates(n int64, stage string) error {
+	if b == nil {
+		return nil
+	}
+	b.remaining -= n
+	if b.remaining < 0 {
+		return errors.New("exhausted: " + stage)
+	}
+	return nil
+}

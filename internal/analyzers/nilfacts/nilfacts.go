@@ -1,0 +1,342 @@
+// Package nilfacts implements the shared nil-tracking lattice used by the
+// flow-sensitive analyzers (nilness, budgetflow): for a chosen set of
+// local variables it computes, at every program point, whether each
+// variable is provably nil, provably non-nil, or unknown, refining facts
+// along branch edges (`if x != nil` makes x non-nil on the true edge) via
+// the dataflow engine in internal/analysis/dataflow.
+//
+// The analysis is deliberately conservative: only variables declared in
+// the function under analysis, never address-taken and never touched from
+// a nested function literal, are tracked. Everything else stays Unknown,
+// so "provably nil/non-nil" facts are trustworthy on every feasible path.
+package nilfacts
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dprle/internal/analysis/dataflow"
+)
+
+// Val is the per-variable nilness value. Unknown is the lattice top;
+// facts only store Nil/NonNil entries.
+type Val uint8
+
+const (
+	Unknown Val = iota
+	Nil
+	NonNil
+)
+
+func (v Val) String() string {
+	switch v {
+	case Nil:
+		return "nil"
+	case NonNil:
+		return "non-nil"
+	}
+	return "unknown"
+}
+
+// Facts maps tracked variables to their definite nilness. A nil *Facts is
+// the lattice bottom (unreachable); a missing entry means Unknown.
+type Facts struct {
+	Vals map[*types.Var]Val
+}
+
+// Get returns the fact for v (Unknown when untracked or joined away).
+func (f *Facts) Get(v *types.Var) Val {
+	if f == nil || v == nil {
+		return Unknown
+	}
+	return f.Vals[v]
+}
+
+// Lattice is the join-semilattice plus transfer function over Facts. It
+// implements both dataflow.Lattice and dataflow.Transfer.
+type Lattice struct {
+	Info    *types.Info
+	Tracked map[*types.Var]bool
+}
+
+// Bottom implements dataflow.Lattice.
+func (l *Lattice) Bottom() dataflow.Fact { return (*Facts)(nil) }
+
+// Boundary implements dataflow.Lattice: at function entry every tracked
+// variable is Unknown (parameters can be anything).
+func (l *Lattice) Boundary() dataflow.Fact { return &Facts{Vals: map[*types.Var]Val{}} }
+
+// Height implements dataflow.Lattice: each tracked variable's entry can be
+// joined away at most once on any rising chain, plus the bottom step.
+func (l *Lattice) Height() int { return len(l.Tracked) + 2 }
+
+// Join implements dataflow.Lattice: entries survive only where both sides
+// agree; disagreement or absence means Unknown.
+func (l *Lattice) Join(a, b dataflow.Fact) dataflow.Fact {
+	x, y := a.(*Facts), b.(*Facts)
+	if x == nil {
+		return y
+	}
+	if y == nil {
+		return x
+	}
+	out := map[*types.Var]Val{}
+	for v, val := range x.Vals {
+		if y.Vals[v] == val {
+			out[v] = val
+		}
+	}
+	return &Facts{Vals: out}
+}
+
+// Equal implements dataflow.Lattice.
+func (l *Lattice) Equal(a, b dataflow.Fact) bool {
+	x, y := a.(*Facts), b.(*Facts)
+	if x == nil || y == nil {
+		return x == y
+	}
+	if len(x.Vals) != len(y.Vals) {
+		return false
+	}
+	for v, val := range x.Vals {
+		if y.Vals[v] != val {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *Lattice) set(f *Facts, v *types.Var, val Val) *Facts {
+	if !l.Tracked[v] {
+		return f
+	}
+	out := map[*types.Var]Val{}
+	for k, x := range f.Vals {
+		out[k] = x
+	}
+	if val == Unknown {
+		delete(out, v)
+	} else {
+		out[v] = val
+	}
+	return &Facts{Vals: out}
+}
+
+// Node implements dataflow.Transfer for the statement kinds that bind
+// tracked variables; everything else leaves the fact unchanged.
+func (l *Lattice) Node(n ast.Node, fact dataflow.Fact) dataflow.Fact {
+	f := fact.(*Facts)
+	if f == nil {
+		return f
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return l.assign(n, f)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					v, ok := l.Info.Defs[name].(*types.Var)
+					if !ok || !l.Tracked[v] {
+						continue
+					}
+					val := Nil // var with no initializer: zero value is nil for tracked types
+					if len(vs.Values) == len(vs.Names) {
+						val = l.Eval(vs.Values[i], f)
+					} else if len(vs.Values) > 0 {
+						val = Unknown // multi-value initializer
+					}
+					f = l.set(f, v, val)
+				}
+			}
+		}
+		return f
+	case *ast.RangeStmt:
+		// Key/Value are rebound each iteration to unknown element values.
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if v := l.objOf(id); v != nil {
+					f = l.set(f, v, Unknown)
+				}
+			}
+		}
+		return f
+	}
+	return f
+}
+
+func (l *Lattice) assign(as *ast.AssignStmt, f *Facts) *Facts {
+	if len(as.Lhs) == len(as.Rhs) {
+		// Evaluate all right-hand sides against the incoming fact before
+		// binding, so `a, b = b, a` swaps facts correctly.
+		vals := make([]Val, len(as.Rhs))
+		for i, r := range as.Rhs {
+			vals[i] = l.Eval(r, f)
+		}
+		for i, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if v := l.objOf(id); v != nil {
+					f = l.set(f, v, vals[i])
+				}
+			}
+		}
+		return f
+	}
+	// Multi-value form (x, err := f()): every bound variable is unknown.
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			if v := l.objOf(id); v != nil {
+				f = l.set(f, v, Unknown)
+			}
+		}
+	}
+	return f
+}
+
+// objOf resolves an identifier to the variable it defines or uses.
+func (l *Lattice) objOf(id *ast.Ident) *types.Var {
+	if v, ok := l.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := l.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// Eval computes the nilness of an expression under the given facts.
+func (l *Lattice) Eval(e ast.Expr, f *Facts) Val {
+	e = ast.Unparen(e)
+	if tv, ok := l.Info.Types[e]; ok && tv.IsNil() {
+		return Nil
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v := l.objOf(e); v != nil && l.Tracked[v] {
+			return f.Get(v)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return NonNil // &composite / &var
+		}
+	case *ast.CompositeLit, *ast.FuncLit:
+		return NonNil
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			if obj, ok := l.Info.Uses[fun].(*types.Builtin); ok {
+				if obj.Name() == "make" || obj.Name() == "new" {
+					return NonNil
+				}
+			}
+		}
+		// A conversion T(x) preserves the operand's nilness.
+		if tv, ok := l.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return l.Eval(e.Args[0], f)
+		}
+	}
+	return Unknown
+}
+
+// Branch implements dataflow.Transfer: it refines facts along the edges of
+// nil comparisons (x == nil, x != nil) over tracked variables and returns
+// bottom when the edge is infeasible under the incoming fact.
+func (l *Lattice) Branch(cond ast.Expr, taken bool, fact dataflow.Fact) dataflow.Fact {
+	f := fact.(*Facts)
+	if f == nil {
+		return f
+	}
+	v, isNilOnTrue, ok := l.NilComparison(cond)
+	if !ok {
+		return f
+	}
+	val := NonNil
+	if isNilOnTrue == taken {
+		val = Nil
+	}
+	if cur := f.Get(v); cur != Unknown && cur != val {
+		return (*Facts)(nil) // contradiction: this edge is infeasible
+	}
+	return l.set(f, v, val)
+}
+
+// NilComparison recognizes `x == nil` / `nil == x` / `x != nil` over a
+// tracked variable, returning the variable and whether the comparison
+// holds (x is nil) when the condition is true.
+func (l *Lattice) NilComparison(cond ast.Expr) (v *types.Var, isNilOnTrue bool, ok bool) {
+	be, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	var operand ast.Expr
+	if tv, okT := l.Info.Types[y]; okT && tv.IsNil() {
+		operand = x
+	} else if tv, okT := l.Info.Types[x]; okT && tv.IsNil() {
+		operand = y
+	} else {
+		return nil, false, false
+	}
+	id, isID := operand.(*ast.Ident)
+	if !isID {
+		return nil, false, false
+	}
+	vv := l.objOf(id)
+	if vv == nil || !l.Tracked[vv] {
+		return nil, false, false
+	}
+	return vv, be.Op == token.EQL, true
+}
+
+// TrackedVars returns the variables eligible for nil tracking in fn: those
+// declared within fn (parameters, named results, locals) whose type
+// satisfies want, excluding any variable that is address-taken or
+// referenced from a function literal nested inside fn (a closure could
+// rebind it behind the analysis's back).
+func TrackedVars(info *types.Info, fn ast.Node, body *ast.BlockStmt, want func(types.Type) bool) map[*types.Var]bool {
+	tracked := map[*types.Var]bool{}
+	collect := func(id *ast.Ident) {
+		if v, ok := info.Defs[id].(*types.Var); ok && v.Pos() >= fn.Pos() && v.Pos() <= fn.End() && want(v.Type()) {
+			tracked[v] = true
+		}
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			collect(id)
+		}
+		return true
+	})
+
+	disqualify := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				delete(tracked, v)
+			} else if v, ok := info.Defs[id].(*types.Var); ok {
+				delete(tracked, v)
+			}
+		}
+	}
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				disqualify(m.X)
+			}
+		case *ast.FuncLit:
+			// Every variable a nested literal touches is out of bounds:
+			// the closure may run at any time and rebind it.
+			ast.Inspect(m.Body, func(k ast.Node) bool {
+				if id, ok := k.(*ast.Ident); ok {
+					disqualify(id)
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return tracked
+}

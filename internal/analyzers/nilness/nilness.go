@@ -1,0 +1,187 @@
+// Package nilness is the flow-sensitive nil analysis of the dprlelint
+// suite: it tracks definite nilness for pointer-, map-, and error-typed
+// locals (the solver's load-bearing cases are *nfa.NFA, *budget.Budget,
+// and error) through branches, and reports dereferences that panic on
+// every feasible path plus nil checks whose outcome is already decided.
+package nilness
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dprle/internal/analysis"
+	"dprle/internal/analysis/dataflow"
+	"dprle/internal/analyzers/nilfacts"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: `flag provably nil dereferences and dead nil checks
+
+A forward dataflow analysis over each function's control-flow graph tracks
+whether every pointer-, map-, and error-typed local is nil, non-nil, or
+unknown, refining along branches (x is non-nil inside "if x != nil",
+including through && / || decomposition). Two findings:
+
+N1 — a field access through, or explicit dereference of, a variable that
+is provably nil on every path reaching that point; likewise a write into a
+provably nil map. These panic at runtime, unconditionally.
+
+N2 — a nil comparison whose outcome is already determined by the facts in
+force (x provably nil or provably non-nil): the check is dead, and the
+code it guards is either unconditionally run or unreachable.
+
+Method calls through possibly-nil receivers are deliberately not flagged:
+the solver's nil-receiver contract (budget.Budget) makes those legal.
+Only variables that are never address-taken and never captured by a
+closure are tracked, so "provably" is trustworthy.
+
+Suppress with //lint:ignore dprlelint/nilness <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var err error
+		ast.Inspect(file, func(n ast.Node) bool {
+			if err != nil {
+				return false
+			}
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					err = checkFunc(pass, fn, fn.Body)
+				}
+			case *ast.FuncLit:
+				err = checkFunc(pass, fn, fn.Body)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nilable selects the types whose zero value is nil and whose dereference
+// (or map write) panics.
+func nilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map:
+		return true
+	case *types.Interface:
+		// Only the error interface: general interfaces invite noise from
+		// typed-nil subtleties.
+		return types.Identical(t, types.Universe.Lookup("error").Type())
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) error {
+	tracked := nilfacts.TrackedVars(pass.TypesInfo, fn, body, nilable)
+	if len(tracked) == 0 {
+		return nil
+	}
+	lat := &nilfacts.Lattice{Info: pass.TypesInfo, Tracked: tracked}
+	g := dataflow.New(body)
+	res, err := dataflow.Solve(g, lat, lat, dataflow.Forward)
+	if err != nil {
+		return err
+	}
+
+	// N1: dereferences under the facts in force at each node.
+	reported := map[ast.Node]bool{}
+	dataflow.WalkForward(g, lat, lat, res, func(n ast.Node, before dataflow.Fact) {
+		checkNode(pass, lat, n, before.(*nilfacts.Facts), reported)
+	})
+
+	// N2: decided nil checks, detected on the condition edges. An edge
+	// whose refinement contradicts the facts at the end of its source
+	// block is infeasible; its polarity can never be taken.
+	bottom := lat.Bottom()
+	seen := map[ast.Expr]bool{}
+	for _, b := range g.Blocks {
+		out := res.Out[b.ID]
+		if lat.Equal(out, bottom) {
+			continue
+		}
+		for _, e := range b.Succs {
+			if e.Cond == nil || seen[e.Cond] {
+				continue
+			}
+			v, _, ok := lat.NilComparison(e.Cond)
+			if !ok {
+				continue
+			}
+			if val := out.(*nilfacts.Facts).Get(v); val != nilfacts.Unknown {
+				seen[e.Cond] = true
+				pass.Reportf(e.Cond.Pos(),
+					"dead nil check: %s is provably %s here, so this condition is constant",
+					v.Name(), val)
+			}
+		}
+	}
+	return nil
+}
+
+// checkNode walks one block node (skipping nested function literals, which
+// have their own CFG) and reports guaranteed-nil dereferences.
+func checkNode(pass *analysis.Pass, lat *nilfacts.Lattice, n ast.Node, f *nilfacts.Facts, reported map[ast.Node]bool) {
+	// A RangeStmt node stands only for its X operand (see dataflow.Block).
+	if rng, ok := n.(*ast.RangeStmt); ok {
+		n = rng.X
+	}
+	// Nil-map writes: the assignment's lhs index expressions.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			if v := trackedIdent(pass.TypesInfo, lat, ix.X); v != nil && f.Get(v) == nilfacts.Nil {
+				if _, isMap := v.Type().Underlying().(*types.Map); isMap && !reported[ix] {
+					reported[ix] = true
+					pass.Reportf(ix.Pos(), "write to provably nil map %s panics", v.Name())
+				}
+			}
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.StarExpr:
+			if v := trackedIdent(pass.TypesInfo, lat, m.X); v != nil && f.Get(v) == nilfacts.Nil && !reported[m] {
+				reported[m] = true
+				pass.Reportf(m.Pos(), "provably nil dereference of %s", v.Name())
+			}
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[m]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true // method value/call: nil receivers may be legal
+			}
+			if v := trackedIdent(pass.TypesInfo, lat, m.X); v != nil && f.Get(v) == nilfacts.Nil && !reported[m] {
+				if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+					reported[m] = true
+					pass.Reportf(m.Pos(), "field access %s.%s on provably nil %s panics",
+						v.Name(), m.Sel.Name, v.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// trackedIdent resolves e to a tracked variable, or nil.
+func trackedIdent(info *types.Info, lat *nilfacts.Lattice, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v == nil || !lat.Tracked[v] {
+		return nil
+	}
+	return v
+}

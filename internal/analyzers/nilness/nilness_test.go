@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"dprle/internal/analysis/analysistest"
+	"dprle/internal/analyzers/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, "testdata", nilness.Analyzer, "a")
+}

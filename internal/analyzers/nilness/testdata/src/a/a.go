@@ -1,0 +1,133 @@
+package a
+
+type T struct{ x int }
+
+type B struct{ n int }
+
+// Check follows the solver's nil-receiver contract: legal on nil.
+func (b *B) Check() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// N1: explicit dereference of a zero-value pointer.
+func star() int {
+	var p *int
+	return *p // want `provably nil dereference of p`
+}
+
+// N1: field access through a pointer refined to nil by the branch.
+func derefUnderNilCheck(c bool) int {
+	var p *T
+	if c {
+		p = &T{}
+	}
+	if p == nil {
+		return p.x // want `field access p\.x on provably nil p panics`
+	}
+	return p.x // clean: non-nil on this path
+}
+
+// N1: writing into a nil map panics.
+func mapWrite() {
+	var m map[string]int
+	m["k"] = 1 // want `write to provably nil map m panics`
+}
+
+// N1: reassignment to nil is tracked through straight-line code.
+func reassign(p *T) int {
+	p = nil
+	return p.x // want `field access p\.x on provably nil p panics`
+}
+
+// N2: freshly allocated pointer makes the check constant-true.
+func deadCheckNonNil() int {
+	p := &T{}
+	if p != nil { // want `dead nil check: p is provably non-nil here, so this condition is constant`
+		return 1
+	}
+	return 0
+}
+
+// N2: zero-value error makes the check constant, and the guarded
+// dereference sits on an infeasible edge (no N1 report for it).
+func deadCheckNil() int {
+	var p *T
+	if p != nil { // want `dead nil check: p is provably nil here, so this condition is constant`
+		return p.x // clean: unreachable under the facts
+	}
+	return 0
+}
+
+// N2: a repeated check after an early return is decided.
+func refined(p *T) int {
+	if p == nil {
+		return 0
+	}
+	if p == nil { // want `dead nil check: p is provably non-nil here, so this condition is constant`
+		return -1
+	}
+	return p.x
+}
+
+// Clean: possibly-nil is not provably nil; N1 stays quiet.
+func mayBeNil(c bool) int {
+	var p *T
+	if c {
+		p = &T{}
+	}
+	return p.x
+}
+
+// Clean: short-circuit refinement flows into the guarded body.
+func shortCircuit(p, q *T) int {
+	if p != nil && q != nil {
+		return p.x + q.x
+	}
+	return 0
+}
+
+// Clean: the loop join degrades facts to unknown, so the in-loop check
+// is live even though p starts nil.
+func loop(items []int) *T {
+	var p *T
+	for _, it := range items {
+		if p == nil {
+			p = &T{x: it}
+		}
+	}
+	return p
+}
+
+// Clean: method calls through possibly-nil receivers are legal under the
+// nil-receiver contract.
+func methodOK() int {
+	var b *B
+	return b.Check()
+}
+
+// Clean: p is captured by a closure, so it is not tracked.
+func captured() int {
+	var p *T
+	f := func() { p = &T{} }
+	f()
+	return p.x
+}
+
+// Clean: p is address-taken, so it is not tracked.
+func addrTaken(fill func(**T)) int {
+	var p *T
+	fill(&p)
+	return p.x
+}
+
+// Clean: error from a call is unknown, both branches feasible.
+func errFlow(get func() (int, error)) int {
+	v, err := get()
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,363 @@
+// Package sharemut enforces the NFA layer's copy-on-write contract with a
+// flow-sensitive escape analysis: a state-set or transition map that has
+// been handed out — stored into a struct field, a global, a container, a
+// channel, or a goroutine — must not be mutated afterwards without making
+// a copy first. Machines are immutable once built (see nfa.NFA); a map
+// mutated after it escaped aliases state the rest of the solver already
+// believes frozen, which is exactly the bug class the race detector finds
+// only when the schedule cooperates. This analyzer finds it statically.
+package sharemut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dprle/internal/analysis"
+	"dprle/internal/analysis/dataflow"
+	"dprle/internal/analyzers/nilfacts"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sharemut",
+	Doc: `flag mutation of a map after it escaped without a copy
+
+A forward dataflow analysis tracks, for every map-typed local, whether it
+is still private to the function or has escaped: stored into a struct
+field or global, placed in another container or composite literal,
+returned, sent on a channel, or passed to a goroutine or deferred call.
+Mutating an escaped map (m[k] = v, delete, clear) is flagged — the NFA
+layer's copy-on-write contract requires a fresh copy (maps.Clone or a
+rebuild) before local mutation resumes. Reassigning the variable to a
+fresh map (make, a literal, or a call result) makes it private again.
+
+Plain function-call arguments do not count as escapes: passing a map down
+for reading or filling is the dominant idiom, and flagging it would bury
+the signal. Only variables never address-taken and never captured by a
+closure are tracked.
+
+Suppress with //lint:ignore dprlelint/sharemut <reason>.`,
+	Run: run,
+}
+
+// escVal says whether a tracked map is still private or has escaped, and
+// where it escaped (for the diagnostic).
+type escVal struct {
+	escaped bool
+	pos     token.Pos // position of the escape site
+	how     string    // short description of the escape kind
+}
+
+// facts is the lattice element: escape state per tracked variable. A nil
+// *facts is bottom (unreachable); missing entries mean "private".
+type facts struct {
+	vals map[*types.Var]escVal
+}
+
+func (f *facts) get(v *types.Var) escVal {
+	if f == nil {
+		return escVal{}
+	}
+	return f.vals[v]
+}
+
+// lattice implements dataflow.Lattice and dataflow.Transfer.
+type lattice struct {
+	info    *types.Info
+	tracked map[*types.Var]bool
+}
+
+func (l *lattice) Bottom() dataflow.Fact   { return (*facts)(nil) }
+func (l *lattice) Boundary() dataflow.Fact { return &facts{vals: map[*types.Var]escVal{}} }
+
+// Height: each variable can rise private→escaped once per chain.
+func (l *lattice) Height() int { return len(l.tracked) + 2 }
+
+func (l *lattice) Join(a, b dataflow.Fact) dataflow.Fact {
+	x, y := a.(*facts), b.(*facts)
+	if x == nil {
+		return y
+	}
+	if y == nil {
+		return x
+	}
+	out := map[*types.Var]escVal{}
+	for v, e := range x.vals {
+		out[v] = e
+	}
+	for v, e := range y.vals {
+		if cur, ok := out[v]; !ok || (e.escaped && (!cur.escaped || e.pos < cur.pos)) {
+			out[v] = e
+		}
+	}
+	return &facts{vals: out}
+}
+
+func (l *lattice) Equal(a, b dataflow.Fact) bool {
+	x, y := a.(*facts), b.(*facts)
+	if x == nil || y == nil {
+		return x == y
+	}
+	if len(x.vals) != len(y.vals) {
+		return false
+	}
+	for v, e := range x.vals {
+		if y.vals[v] != e {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *lattice) set(f *facts, v *types.Var, e escVal) *facts {
+	if !l.tracked[v] {
+		return f
+	}
+	out := map[*types.Var]escVal{}
+	for k, x := range f.vals {
+		out[k] = x
+	}
+	if e == (escVal{}) {
+		delete(out, v)
+	} else {
+		out[v] = e
+	}
+	return &facts{vals: out}
+}
+
+// Node implements dataflow.Transfer.
+func (l *lattice) Node(n ast.Node, fact dataflow.Fact) dataflow.Fact {
+	f := fact.(*facts)
+	if f == nil {
+		return f
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			lhs = ast.Unparen(lhs)
+			switch lhs := lhs.(type) {
+			case *ast.Ident:
+				// Rebinding a tracked variable: fresh value → private again;
+				// alias of another tracked map → inherit its state.
+				if v := l.varOf(lhs); v != nil && len(n.Rhs) == len(n.Lhs) {
+					rhs := ast.Unparen(n.Rhs[i])
+					if src := l.trackedUse(rhs); src != nil {
+						f = l.set(f, v, f.get(src))
+					} else {
+						f = l.set(f, v, escVal{})
+					}
+				}
+				// Storing a tracked map into a package-level variable.
+				if v := l.varOf(lhs); v != nil && !l.tracked[v] && v.Parent() == v.Pkg().Scope() && len(n.Rhs) == len(n.Lhs) {
+					f = l.escapeIn(n.Rhs[i], f, "stored in a global")
+				}
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				// Field, element, or pointer store: the rhs value escapes.
+				if len(n.Rhs) == len(n.Lhs) {
+					f = l.escapeIn(n.Rhs[i], f, "stored in a field or container")
+				}
+			}
+		}
+		// Composite literals anywhere on the rhs capture tracked maps.
+		for _, r := range n.Rhs {
+			f = l.escapeComposites(r, f)
+		}
+		return f
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						f = l.escapeComposites(val, f)
+					}
+				}
+			}
+		}
+		return f
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			f = l.escapeIn(r, f, "returned")
+			f = l.escapeComposites(r, f)
+		}
+		return f
+	case *ast.SendStmt:
+		return l.escapeIn(n.Value, f, "sent on a channel")
+	case *ast.GoStmt:
+		return l.escapeCall(n.Call, f, "handed to a goroutine")
+	case *ast.DeferStmt:
+		return l.escapeCall(n.Call, f, "handed to a deferred call")
+	case *ast.ExprStmt:
+		return l.escapeComposites(n.X, f)
+	}
+	return f
+}
+
+// Branch implements dataflow.Transfer: escape state is not refined by
+// conditions.
+func (l *lattice) Branch(cond ast.Expr, taken bool, fact dataflow.Fact) dataflow.Fact {
+	return fact
+}
+
+// escapeIn marks e escaped if it is (exactly) a tracked map variable.
+func (l *lattice) escapeIn(e ast.Expr, f *facts, how string) *facts {
+	if v := l.trackedUse(e); v != nil && !f.get(v).escaped {
+		return l.set(f, v, escVal{escaped: true, pos: e.Pos(), how: how})
+	}
+	return f
+}
+
+// escapeCall marks every tracked map appearing in the call's function or
+// arguments escaped: the callee runs later (go/defer), concurrently with
+// any subsequent mutation.
+func (l *lattice) escapeCall(call *ast.CallExpr, f *facts, how string) *facts {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, okUse := l.info.Uses[id].(*types.Var); okUse && l.tracked[v] && !f.get(v).escaped {
+				f = l.set(f, v, escVal{escaped: true, pos: id.Pos(), how: how})
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// escapeComposites marks tracked maps used as composite-literal elements
+// (e.g. &Package{Sources: m}) escaped — the literal aliases the map.
+func (l *lattice) escapeComposites(e ast.Expr, f *facts) *facts {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if v := l.trackedUse(elt); v != nil && !f.get(v).escaped {
+				f = l.set(f, v, escVal{escaped: true, pos: elt.Pos(), how: "captured in a composite literal"})
+			}
+		}
+		return true
+	})
+	return f
+}
+
+func (l *lattice) varOf(id *ast.Ident) *types.Var {
+	if v, ok := l.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := l.info.Uses[id].(*types.Var)
+	return v
+}
+
+// trackedUse resolves e to a tracked variable use, or nil.
+func (l *lattice) trackedUse(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := l.info.Uses[id].(*types.Var)
+	if v == nil || !l.tracked[v] {
+		return nil
+	}
+	return v
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var err error
+		ast.Inspect(file, func(n ast.Node) bool {
+			if err != nil {
+				return false
+			}
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					err = checkFunc(pass, fn, fn.Body)
+				}
+			case *ast.FuncLit:
+				err = checkFunc(pass, fn, fn.Body)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) error {
+	tracked := nilfacts.TrackedVars(pass.TypesInfo, fn, body, isMap)
+	if len(tracked) == 0 {
+		return nil
+	}
+	lat := &lattice{info: pass.TypesInfo, tracked: tracked}
+	g := dataflow.New(body)
+	res, err := dataflow.Solve(g, lat, lat, dataflow.Forward)
+	if err != nil {
+		return err
+	}
+	reported := map[ast.Node]bool{}
+	dataflow.WalkForward(g, lat, lat, res, func(n ast.Node, before dataflow.Fact) {
+		checkMutations(pass, lat, n, before.(*facts), reported)
+	})
+	return nil
+}
+
+// checkMutations reports map mutations performed while the map is in the
+// escaped state.
+func checkMutations(pass *analysis.Pass, lat *lattice, n ast.Node, f *facts, reported map[ast.Node]bool) {
+	if rng, ok := n.(*ast.RangeStmt); ok {
+		n = rng.X
+	}
+	report := func(site ast.Node, v *types.Var, verb string) {
+		if reported[site] {
+			return
+		}
+		reported[site] = true
+		e := f.get(v)
+		pass.Reportf(site.Pos(),
+			"map %s is %s at %s but %s here; copy it before mutating (copy-on-write contract)",
+			v.Name(), e.how, pass.Fset.Position(e.pos), verb)
+	}
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			if v := lat.trackedUse(ix.X); v != nil && f.get(v).escaped {
+				report(ix, v, "written to")
+			}
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		verbs := map[string]string{"delete": "deleted from", "clear": "cleared"}
+		if b, ok := lat.info.Uses[fun].(*types.Builtin); ok && verbs[b.Name()] != "" && len(call.Args) > 0 {
+			if v := lat.trackedUse(call.Args[0]); v != nil && f.get(v).escaped {
+				report(call, v, verbs[b.Name()])
+			}
+		}
+		return true
+	})
+}

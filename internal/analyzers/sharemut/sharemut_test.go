@@ -1,0 +1,12 @@
+package sharemut_test
+
+import (
+	"testing"
+
+	"dprle/internal/analysis/analysistest"
+	"dprle/internal/analyzers/sharemut"
+)
+
+func TestSharemut(t *testing.T) {
+	analysistest.Run(t, "testdata", sharemut.Analyzer, "a")
+}

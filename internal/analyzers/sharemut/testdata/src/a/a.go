@@ -1,0 +1,98 @@
+package a
+
+var global map[string]int
+
+type Box struct{ m map[string]int }
+
+func use(m map[string]int) {}
+
+// Clean: build first, hand out last — the copy-on-write idiom.
+func build() map[string]int {
+	m := map[string]int{}
+	m["a"] = 1
+	return m
+}
+
+// Mutation after the map escaped into a struct field.
+func fieldStore(b *Box) {
+	m := map[string]int{}
+	m["a"] = 1 // clean: still private
+	b.m = m
+	m["b"] = 2 // want `map m is stored in a field or container .* but written to here`
+}
+
+// Mutation after the map escaped into a global.
+func globalStore() {
+	m := make(map[string]int)
+	global = m
+	delete(m, "a") // want `map m is stored in a global .* but deleted from here`
+}
+
+// Mutation after the map was handed to a goroutine.
+func goEscape() {
+	m := map[string]int{}
+	go use(m)
+	m["a"] = 1 // want `map m is handed to a goroutine .* but written to here`
+}
+
+// Mutation after the map was captured by a deferred call.
+func deferEscape() {
+	m := map[string]int{}
+	defer use(m)
+	clear(m) // want `map m is handed to a deferred call .* but cleared here`
+}
+
+// Mutation after the map was captured in a composite literal.
+func composite() *Box {
+	m := map[string]int{}
+	b := &Box{m: m}
+	m["a"] = 1 // want `map m is captured in a composite literal .* but written to here`
+	return b
+}
+
+// Mutation after the map was sent on a channel.
+func send(ch chan map[string]int) {
+	m := map[string]int{}
+	ch <- m
+	m["a"] = 1 // want `map m is sent on a channel .* but written to here`
+}
+
+// Escape on one branch taints the join: the mutation may race.
+func maybeEscape(b *Box, c bool) {
+	m := map[string]int{}
+	if c {
+		b.m = m
+	}
+	m["a"] = 1 // want `map m is stored in a field or container .* but written to here`
+}
+
+// Clean: reassigning to a fresh map makes the variable private again.
+func reset(b *Box) {
+	m := map[string]int{}
+	b.m = m
+	m = map[string]int{}
+	m["a"] = 1
+}
+
+// Clean: a plain call argument is not an escape — filling a map through
+// a helper is the dominant idiom.
+func fill() {
+	m := map[string]int{}
+	use(m)
+	m["a"] = 1
+}
+
+// Clean: mutating an element value, not the escaped map itself.
+func elemOnly(b *Box) {
+	m := map[string]int{}
+	b.m = m
+	n := map[string]int{}
+	n["a"] = 1
+}
+
+// Clean: parameters are tracked but private until they escape here.
+func param(m map[string]int, b *Box) {
+	m["a"] = 1
+	b.m = m
+	m["b"] = 2 // want `map m is stored in a field or container .* but written to here`
+}
