@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fix fmt cover bench
+.PHONY: all build test race chaos lint fix fmt cover bench
 
 all: build lint test
 
@@ -13,6 +13,12 @@ test:
 # Full suite under the race detector (the dedicated `race` CI job).
 race:
 	$(GO) test -race ./...
+
+# Chaos harness: fault-injection sweeps, the worker-pool panic/cancel
+# matrix, and drain-under-load, all under the race detector (the `chaos`
+# CI job).
+chaos:
+	$(GO) test -race -count=2 -run 'Chaos|Pool|Drain|Shed|Disconnect' ./internal/server/ ./cmd/dprled/
 
 # Static analysis: go vet plus the repo-specific invariant suite
 # (DESIGN.md §7). Both exit non-zero on findings, failing the build.

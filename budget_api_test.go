@@ -85,6 +85,39 @@ func TestDecideContextUsage(t *testing.T) {
 	}
 }
 
+// TestSolveContextPrecancelledFastPath pins the public fast path: an
+// already-canceled context must return immediately with zero work done,
+// for both SolveContext and DecideContext. Serving layers that fan one
+// deadline across many solves rely on dead requests costing nothing.
+func TestSolveContextPrecancelledFastPath(t *testing.T) {
+	s := bombAPISystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := s.SolveContext(ctx, Options{})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %T %v, want *ExhaustedError", err, err)
+	}
+	if ex.Kind != "canceled" {
+		t.Errorf("Kind = %q, want canceled", ex.Kind)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("error does not unwrap to context.Canceled")
+	}
+	if res.Usage.States != 0 || res.Usage.Steps != 0 {
+		t.Errorf("solve did work on a dead context: %+v", res.Usage)
+	}
+
+	a, ok, usage, err := s.DecideContext(ctx, []string{"v1"}, Options{})
+	if err == nil || ok {
+		t.Fatalf("DecideContext: ok=%v err=%v, want unknown", ok, err)
+	}
+	if usage.States != 0 || usage.Steps != 0 {
+		t.Errorf("decide did work on a dead context: %+v", usage)
+	}
+	_ = a
+}
+
 func TestRecoverToError(t *testing.T) {
 	boom := func() (err error) {
 		defer recoverToError(&err)

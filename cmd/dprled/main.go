@@ -1,0 +1,245 @@
+// Command dprled runs the DPRLE solver as a long-lived, fault-isolated
+// HTTP/JSON service (see internal/server): constraint systems are POSTed to
+// /solve and answered with structured JSON, under per-request budgets
+// clamped by server policy, with panic isolation, admission control, and a
+// graceful SIGTERM drain.
+//
+// Usage:
+//
+//	dprled [flags]                  # serve
+//	dprled -client [flags] [file]   # one-shot client with retries
+//
+// In serve mode dprled prints "dprled: listening on ADDR" once the socket
+// is bound (ADDR resolves :0 to the chosen port) and runs until SIGINT or
+// SIGTERM, then drains: readiness flips to 503, in-flight solves finish
+// within -drain-timeout, and the process exits 0 on a clean drain or 1 if
+// stragglers had to be abandoned.
+//
+// In client mode dprled reads a constraint system from the file argument
+// (or standard input), POSTs it to -url, and retries shed (429) and
+// draining (503) answers with jittered exponential backoff, honoring the
+// server's Retry-After hint. Exit status matches cmd/dprle: 0 sat, 1
+// unsat, 2 error, 3 unknown (budget exhausted server-side).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dprle/internal/server"
+	"dprle/internal/server/retry"
+)
+
+// Exit codes, matching cmd/dprle where the notions coincide.
+const (
+	exitSat      = 0
+	exitUnsat    = 1
+	exitError    = 2
+	exitUnknown  = 3
+	exitDrainCut = 1 // serve mode: drain deadline hit with work in flight
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr, sigs))
+}
+
+// run is the testable entry point: signals arrive on sigs so tests can
+// deliver a synthetic SIGTERM without touching process state.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
+	fs := flag.NewFlagSet("dprled", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8723", "listen address (serve mode)")
+		workers      = fs.Int("workers", 0, "solver worker goroutines (0 = GOMAXPROCS)")
+		queue        = fs.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+		reqTimeout   = fs.Duration("request-timeout", 0, "default per-request deadline (0 = 5s)")
+		maxTimeout   = fs.Duration("max-timeout", 0, "ceiling on client-requested deadlines (0 = 30s)")
+		maxStates    = fs.Int64("max-states", 0, "ceiling on per-request NFA states (0 = default, negative = unlimited)")
+		maxSteps     = fs.Int64("max-steps", 0, "ceiling on per-request solver steps (0 = default, negative = unlimited)")
+		bodyLimit    = fs.Int64("body-limit", 0, "request body byte cap (0 = 1MiB)")
+		drainTimeout = fs.Duration("drain-timeout", 0, "bound on the SIGTERM drain (0 = 10s)")
+
+		client    = fs.Bool("client", false, "one-shot client mode: POST a system to -url")
+		url       = fs.String("url", "http://127.0.0.1:8723", "server base URL (client mode)")
+		retries   = fs.Int("retries", 4, "total attempts for shed/draining answers (client mode)")
+		retryBase = fs.Duration("retry-base", 200*time.Millisecond, "initial backoff (client mode)")
+		timeout   = fs.Duration("timeout", 60*time.Second, "overall deadline including retries (client mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+
+	if *client {
+		return runClient(fs.Args(), stdin, stdout, stderr, *url, *retries, *retryBase, *timeout)
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "dprled: serve mode takes no arguments (use -client to submit a system)")
+		return exitError
+	}
+	return runServe(stdout, stderr, sigs, server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *reqTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxStates:      *maxStates,
+		MaxSteps:       *maxSteps,
+		MaxBodyBytes:   *bodyLimit,
+		DrainTimeout:   *drainTimeout,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stderr, "dprled: "+format+"\n", a...)
+		},
+	}, *addr)
+}
+
+func runServe(stdout, stderr io.Writer, sigs <-chan os.Signal, cfg server.Config, addr string) int {
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "dprled: listen: %v\n", err)
+		return exitError
+	}
+	fmt.Fprintf(stdout, "dprled: listening on %s\n", ln.Addr())
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(stderr, "dprled: %v received, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), srv.Config().DrainTimeout)
+		defer cancel()
+		code := exitSat
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(stderr, "dprled: drain incomplete: %v\n", err)
+			code = exitDrainCut
+		}
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer shutCancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			hs.Close()
+		}
+		fmt.Fprintln(stderr, "dprled: shutdown complete")
+		return code
+	case err := <-serveErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			return exitSat
+		}
+		fmt.Fprintf(stderr, "dprled: serve: %v\n", err)
+		return exitError
+	}
+}
+
+func runClient(args []string, stdin io.Reader, stdout, stderr io.Writer, url string, retries int, retryBase, timeout time.Duration) int {
+	var src []byte
+	var err error
+	switch len(args) {
+	case 0:
+		src, err = io.ReadAll(stdin)
+	case 1:
+		src, err = os.ReadFile(args[0])
+	default:
+		fmt.Fprintln(stderr, "dprled: at most one input file")
+		return exitError
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "dprled: reading input: %v\n", err)
+		return exitError
+	}
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	policy := retry.Policy{
+		MaxAttempts: retries,
+		BaseDelay:   retryBase,
+		MaxDelay:    10 * time.Second,
+		Jitter:      0.2,
+	}
+	var solved server.SolveResponse
+	err = policy.Do(ctx, func(ctx context.Context, attempt int) error {
+		if attempt > 1 {
+			fmt.Fprintf(stderr, "dprled: attempt %d\n", attempt)
+		}
+		return postOnce(ctx, url, src, &solved)
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "dprled: %v\n", err)
+		return exitError
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&solved); err != nil {
+		fmt.Fprintf(stderr, "dprled: writing result: %v\n", err)
+		return exitError
+	}
+	switch solved.Status {
+	case server.StatusSat:
+		return exitSat
+	case server.StatusUnsat:
+		return exitUnsat
+	default:
+		return exitUnknown
+	}
+}
+
+// postOnce makes one /solve round trip, classifying failures for the retry
+// policy: connection errors and backpressure (429/503, with the server's
+// Retry-After hint) are retryable; everything else is permanent.
+func postOnce(ctx context.Context, url string, src []byte, out *server.SolveResponse) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(url, "/")+"/solve", strings.NewReader(string(src)))
+	if err != nil {
+		return retry.Permanent(fmt.Errorf("building request: %w", err))
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("connecting to solver: %w", err) // retryable
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("reading response: %w", err) // retryable
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if err := json.Unmarshal(body, out); err != nil {
+			return retry.Permanent(fmt.Errorf("decoding response: %w", err))
+		}
+		return nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		var er server.ErrorResponse
+		_ = json.Unmarshal(body, &er)
+		after := time.Second
+		if er.RetryAfterSeconds > 0 {
+			after = time.Duration(er.RetryAfterSeconds) * time.Second
+		}
+		return retry.After(fmt.Errorf("server busy (%d %s)", resp.StatusCode, er.Code), after)
+	default:
+		var er server.ErrorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			if er.IncidentID != "" {
+				return retry.Permanent(fmt.Errorf("%s (status %d, incident %s)", er.Error, resp.StatusCode, er.IncidentID))
+			}
+			return retry.Permanent(fmt.Errorf("%s (status %d)", er.Error, resp.StatusCode))
+		}
+		return retry.Permanent(fmt.Errorf("unexpected status %d: %s", resp.StatusCode, body))
+	}
+}

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const (
+	satSource   = "const c := re /ab/;\nv1 . v2 <= c;\n"
+	unsatSource = "const digits := match /^[\\d]+$/;\nconst quote := match /'/;\nv1 <= digits;\n\"nid_\" . v1 <= quote;\n"
+)
+
+// syncBuffer is an io.Writer tests can read while run() is still writing
+// from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startServer runs serve mode on an ephemeral port and returns its base URL
+// plus a shutdown func that delivers SIGTERM and waits for the exit code.
+func startServer(t *testing.T, extraArgs ...string) (string, func() int) {
+	t.Helper()
+	sigs := make(chan os.Signal, 1)
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(args, strings.NewReader(""), stdout, stderr, sigs)
+	}()
+
+	// The listening line resolves :0 to the real port.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		out := stdout.String()
+		if i := strings.Index(out, "listening on "); i >= 0 {
+			rest := out[i+len("listening on "):]
+			if j := strings.IndexByte(rest, '\n'); j >= 0 {
+				addr = strings.TrimSpace(rest[:j])
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	shutdown := func() int {
+		sigs <- syscall.SIGTERM
+		select {
+		case code := <-exit:
+			return code
+		case <-time.After(30 * time.Second):
+			t.Fatalf("server did not exit after SIGTERM; stderr=%q", stderr.String())
+			return -1
+		}
+	}
+	return "http://" + addr, shutdown
+}
+
+func TestServeSolveAndDrain(t *testing.T) {
+	url, shutdown := startServer(t)
+
+	resp, err := http.Post(url+"/solve", "text/plain", strings.NewReader(satSource))
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d, want 200", resp.StatusCode)
+	}
+
+	if code := shutdown(); code != 0 {
+		t.Fatalf("exit after SIGTERM = %d, want 0", code)
+	}
+}
+
+func TestClientExitCodes(t *testing.T) {
+	url, shutdown := startServer(t)
+	defer shutdown()
+
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"sat", satSource, exitSat},
+		{"unsat", unsatSource, exitUnsat},
+		{"parse error", "const broken :=", exitError},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			stdout, stderr := &syncBuffer{}, &syncBuffer{}
+			code := run([]string{"-client", "-url", url}, strings.NewReader(c.src),
+				stdout, stderr, nil)
+			if code != c.want {
+				t.Fatalf("exit = %d, want %d (stdout=%q stderr=%q)", code, c.want, stdout.String(), stderr.String())
+			}
+			if c.want == exitSat && !strings.Contains(stdout.String(), `"sat"`) {
+				t.Errorf("sat run printed %q", stdout.String())
+			}
+		})
+	}
+}
+
+func TestClientReadsFile(t *testing.T) {
+	url, shutdown := startServer(t)
+	defer shutdown()
+
+	path := t.TempDir() + "/sys.dprle"
+	if err := os.WriteFile(path, []byte(satSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	if code := run([]string{"-client", "-url", url, path}, strings.NewReader(""), stdout, stderr, nil); code != exitSat {
+		t.Fatalf("exit = %d, want %d (stderr=%q)", code, exitSat, stderr.String())
+	}
+}
+
+// TestClientRetriesBackpressure stubs a server that sheds twice before
+// answering, and checks the client's retry loop rides it out.
+func TestClientRetriesBackpressure(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error": "shed", "code": "queue-full", "retry_after_seconds": 0}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status": "sat", "assignments": [{"v": {"witness": "ab", "states": 3}}], "usage": {"states": 1, "steps": 1}}`)
+	}))
+	defer stub.Close()
+
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	code := run([]string{"-client", "-url", stub.URL, "-retries", "5", "-retry-base", "1ms"},
+		strings.NewReader(satSource), stdout, stderr, nil)
+	if code != exitSat {
+		t.Fatalf("exit = %d, want %d (stderr=%q)", code, exitSat, stderr.String())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two shed + one served)", calls)
+	}
+}
+
+// TestClientGivesUpAfterRetries checks persistent shedding exhausts the
+// budget and surfaces as an error exit, not a hang.
+func TestClientGivesUpAfterRetries(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error": "draining", "code": "draining", "retry_after_seconds": 0}`)
+	}))
+	defer stub.Close()
+
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	code := run([]string{"-client", "-url", stub.URL, "-retries", "3", "-retry-base", "1ms"},
+		strings.NewReader(satSource), stdout, stderr, nil)
+	if code != exitError {
+		t.Fatalf("exit = %d, want %d", code, exitError)
+	}
+	if !strings.Contains(stderr.String(), "3 attempt") {
+		t.Errorf("stderr %q does not mention the attempt count", stderr.String())
+	}
+}
+
+func TestClientInternalErrorIsPermanent(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error": "boom", "code": "internal", "incident_id": "inc-000001-dead"}`)
+	}))
+	defer stub.Close()
+
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	code := run([]string{"-client", "-url", stub.URL, "-retries", "5", "-retry-base", "1ms"},
+		strings.NewReader(satSource), stdout, stderr, nil)
+	if code != exitError {
+		t.Fatalf("exit = %d, want %d", code, exitError)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("500 was retried %d times; incidents are permanent", calls)
+	}
+	if !strings.Contains(stderr.String(), "inc-000001-dead") {
+		t.Errorf("stderr %q does not carry the incident ID", stderr.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-definitely-not-a-flag"},
+		{"extra-arg-in-serve-mode"},
+		{"-client", "-url", "http://127.0.0.1:1", "a", "b"}, // two files
+	}
+	for _, args := range cases {
+		stdout, stderr := &syncBuffer{}, &syncBuffer{}
+		if code := run(args, strings.NewReader(""), stdout, stderr, nil); code != exitError {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitError)
+		}
+	}
+}

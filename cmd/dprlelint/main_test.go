@@ -186,3 +186,32 @@ func TestExpandPatterns(t *testing.T) {
 		t.Errorf("expandPatterns(./internal/analyzers/...) = %v, want the analyzer packages", tree)
 	}
 }
+
+// TestServingPackagesInScope pins the dprled serving stack into the lint
+// walk: if a refactor moved these packages (or ModulePackages stopped
+// seeing them), TestRepoClean would silently stop checking the solver
+// invariants — budget flow, context discipline, panic contracts — on the
+// very layer that runs untrusted input.
+func TestServingPackagesInScope(t *testing.T) {
+	loader, err := analysis.NewLoader(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		seen[p] = true
+	}
+	for _, want := range []string{
+		"dprle/internal/server",
+		"dprle/internal/server/retry",
+		"dprle/cmd/dprled",
+	} {
+		if !seen[want] {
+			t.Errorf("package %s missing from the lint scope %v", want, paths)
+		}
+	}
+}

@@ -140,12 +140,20 @@ func (b *Budget) pollCtx(stage string) error {
 // Check is a cancellation checkpoint for solver loop heads: it counts one
 // step, polls the context, and enforces MaxSteps. It returns the sticky
 // *Exhausted once the budget has tripped.
+//
+// Check panics deliberately when the test-only faultinject.Crash point is
+// armed: the chaos harness uses it to simulate an internal invariant
+// violation at an arbitrary solver depth and prove the per-request recover
+// boundaries hold. Production runs never arm faults.
 func (b *Budget) Check(stage string) error {
 	if b == nil {
 		return nil
 	}
 	if e := b.tripped.Load(); e != nil {
 		return e
+	}
+	if faultinject.Fire(faultinject.Crash) {
+		panic(fmt.Sprintf("faultinject: injected crash at %s", stage))
 	}
 	n := b.steps.Add(1)
 	if faultinject.Fire(faultinject.Checkpoint) {
@@ -179,6 +187,33 @@ func (b *Budget) AddStates(n int64, stage string) error {
 		return b.pollCtx(stage)
 	}
 	return nil
+}
+
+// Preflight polls the context once without counting a step or consulting
+// fault injection, so entry points can reject an already-expired context
+// before doing any work. It returns the sticky *Exhausted once the budget
+// has tripped.
+func (b *Budget) Preflight(stage string) error {
+	if b == nil {
+		return nil
+	}
+	if e := b.tripped.Load(); e != nil {
+		return e
+	}
+	return b.pollCtx(stage)
+}
+
+// Inject trips the budget with the Injected kind at the given stage. It
+// backs the faultinject probes that live outside Check/AddStates (the gci
+// worklist pop, the group Cartesian product): when such a site fires, the
+// solver calls Inject so the whole pipeline unwinds with the same sticky
+// *Exhausted any organic trip would produce. On a nil receiver it returns
+// a bare *Exhausted, so the probe still yields a structured error.
+func (b *Budget) Inject(stage string) error {
+	if b == nil {
+		return &Exhausted{Kind: Injected, Stage: stage}
+	}
+	return b.trip(Injected, stage, 0, nil)
 }
 
 // Err returns the recorded exhaustion, or nil while the budget holds.

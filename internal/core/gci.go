@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dprle/internal/budget"
+	"dprle/internal/faultinject"
 	"dprle/internal/nfa"
 )
 
@@ -208,6 +209,9 @@ func (s *gciSolver) solveGroupTrunc(group []int) ([]map[int]*nfa.NFA, bool, erro
 	var solutions []map[int]*nfa.NFA
 	seen := map[string]bool{}
 	for ci, combo := range combos {
+		if faultinject.Fire(faultinject.GCIPop) {
+			return solutions, truncated, s.bud.Inject("gci.pop")
+		}
 		if err := s.bud.Check("gci.combos"); err != nil {
 			return solutions, truncated, err
 		}

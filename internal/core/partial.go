@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"dprle/internal/budget"
+	"dprle/internal/faultinject"
 	"dprle/internal/nfa"
 )
 
@@ -30,6 +31,11 @@ func SolveFor(s *System, interest []string, opts Options) (*Result, error) {
 // Result with a non-nil error means "unknown", not unsat.
 func SolveForCtx(ctx context.Context, s *System, interest []string, opts Options) (*Result, error) {
 	bud := budget.New(ctx, opts.Limits)
+	// Fast path: reject an already-expired context before any work (see
+	// SolveCtx).
+	if err := bud.Preflight("solve-for.preflight"); err != nil {
+		return &Result{Usage: bud.Usage()}, err
+	}
 	res, err := solveForBudget(s, interest, opts, bud)
 	if res == nil {
 		res = &Result{}
@@ -131,6 +137,9 @@ func solveForBudget(s *System, interest []string, opts Options, bud *budget.Budg
 	res := &Result{}
 	assignments := []Assignment{base}
 	for _, sols := range perGroup {
+		if faultinject.Fire(faultinject.GroupProduct) {
+			return &Result{}, bud.Inject("solve-for.group-product")
+		}
 		var next []Assignment
 		for _, a := range assignments {
 			for _, sol := range sols {

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"dprle/internal/budget"
+	"dprle/internal/faultinject"
 	"dprle/internal/nfa"
 )
 
@@ -159,6 +160,13 @@ func Solve(s *System, opts Options) (*Result, error) {
 // constructions surface the error.
 func SolveCtx(ctx context.Context, s *System, opts Options) (*Result, error) {
 	bud := budget.New(ctx, opts.Limits)
+	// Fast path: a context that is already expired or canceled must not
+	// start any work — callers that share a deadline across many solves
+	// (the serving layer, symexec's per-path loop) rely on dead requests
+	// costing nothing.
+	if err := bud.Preflight("solve.preflight"); err != nil {
+		return &Result{Usage: bud.Usage()}, err
+	}
 	res, err := solveBudget(s, opts, bud)
 	if res == nil {
 		res = &Result{}
@@ -301,8 +309,13 @@ func solveBudget(s *System, opts Options, bud *budget.Budget) (*Result, error) {
 	// branches) on top of the base assignment. This stage is deliberately
 	// unbudgeted: it is bounded by maxSolutions() map merges, and aborting
 	// mid-merge could expose assignments missing some group's variables.
+	// The fault probe sits between whole groups, where abandoning the
+	// product is safe (no partially merged assignment can escape).
 	assignments := []Assignment{base}
 	for _, sols := range perGroup {
+		if faultinject.Fire(faultinject.GroupProduct) {
+			return &Result{}, bud.Inject("solve.group-product")
+		}
 		var next []Assignment
 		for _, a := range assignments {
 			for _, sol := range sols {

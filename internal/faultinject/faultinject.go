@@ -25,7 +25,25 @@ const (
 	// Checkpoint fires inside Budget.Check — the coarse cancellation
 	// checkpoints at solver loop heads.
 	Checkpoint Point = "checkpoint"
+	// GCIPop fires at the head of the gci seam-combination worklist
+	// (internal/core, Fig. 8's all_combinations loop) — the general
+	// solver's inner enumeration, distinct from the budget checkpoints it
+	// also passes.
+	GCIPop Point = "gci-pop"
+	// GroupProduct fires at the Cartesian combination of CI-group
+	// disjuncts (internal/core stage 3), the one solver stage that is
+	// otherwise unbudgeted.
+	GroupProduct Point = "group-product"
+	// Crash makes Budget.Check panic instead of returning an error —
+	// the chaos harness's stand-in for an internal invariant violation,
+	// proving that per-request recover boundaries hold.
+	Crash Point = "crash"
 )
+
+// Points lists every probe class, for sweeps that must cover all sites.
+func Points() []Point {
+	return []Point{Alloc, Checkpoint, GCIPop, GroupProduct, Crash}
+}
 
 type plan struct {
 	point Point

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dprle/internal/budget"
+	"dprle/internal/faultinject"
+)
+
+// TestChaosFaultSweep is the acceptance harness from the issue: for every
+// fault-injection point in the solver pipeline, arm the fault and push a
+// burst of concurrent requests through the full HTTP stack. Whatever the
+// injection turns into — a budget trip, an injected error, or a panic deep
+// inside Budget.Check — every request must get a structured JSON answer,
+// the process must not crash, /readyz must still report ready, and no
+// goroutine may leak.
+func TestChaosFaultSweep(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	before := runtime.NumGoroutine()
+
+	const burst = 8
+	for _, point := range faultinject.Points() {
+		t.Run(string(point), func(t *testing.T) {
+			disarm := faultinject.Arm(point, 1)
+			defer disarm()
+
+			type reply struct {
+				code int
+				body []byte
+			}
+			replies := make(chan reply, burst)
+			var wg sync.WaitGroup
+			for i := 0; i < burst; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					resp, err := http.Post(ts.URL+"/solve", "text/plain", strings.NewReader(satSource))
+					if err != nil {
+						t.Errorf("request failed outright (the fault escaped the server): %v", err)
+						return
+					}
+					defer resp.Body.Close()
+					raw, err := io.ReadAll(resp.Body)
+					if err != nil {
+						t.Errorf("reading body: %v", err)
+						return
+					}
+					replies <- reply{resp.StatusCode, raw}
+				}()
+			}
+			wg.Wait()
+			close(replies)
+
+			var sat, degraded, incidents int
+			for r := range replies {
+				switch r.code {
+				case http.StatusOK:
+					var sr SolveResponse
+					if err := json.Unmarshal(r.body, &sr); err != nil {
+						t.Fatalf("200 body not a SolveResponse: %v (%q)", err, r.body)
+					}
+					switch {
+					case sr.Degraded != nil:
+						degraded++
+						if sr.Degraded.Kind != string(budget.Injected) {
+							t.Errorf("Degraded.Kind = %q, want %q", sr.Degraded.Kind, budget.Injected)
+						}
+					case sr.Status == StatusSat:
+						sat++
+					default:
+						t.Errorf("unexpected clean response %+v", sr)
+					}
+				case http.StatusInternalServerError:
+					var er ErrorResponse
+					if err := json.Unmarshal(r.body, &er); err != nil {
+						t.Fatalf("500 body not an ErrorResponse: %v (%q)", err, r.body)
+					}
+					if er.Code != CodeInternal || er.IncidentID == "" {
+						t.Errorf("500 = %+v, want internal code with incident ID", er)
+					}
+					incidents++
+				default:
+					t.Errorf("status %d (%q): structured answers only", r.code, r.body)
+				}
+			}
+			if sat+degraded+incidents != burst {
+				t.Fatalf("answers = %d sat + %d degraded + %d incidents, want %d total",
+					sat, degraded, incidents, burst)
+			}
+			// Arm(point, 1) fires on the first occurrence, and every point is
+			// on the small system's solve path, so exactly one request is hit.
+			if degraded+incidents != 1 {
+				t.Errorf("fault at %s hit %d requests, want exactly 1", point, degraded+incidents)
+			}
+			if point == faultinject.Crash {
+				if incidents != 1 {
+					t.Errorf("Crash produced %d incidents, want 1 (panic must cross the recover boundary)", incidents)
+				}
+			} else if degraded != 1 {
+				t.Errorf("%s produced %d degraded answers, want 1", point, degraded)
+			}
+
+			// The server is still ready: the fault was isolated to one request.
+			resp, err := http.Get(ts.URL + "/readyz")
+			if err != nil {
+				t.Fatalf("readyz after fault: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("readyz after %s = %d, want 200", point, resp.StatusCode)
+			}
+		})
+	}
+
+	// Crash panics are the only incidents the sweep should have produced.
+	if got := s.stats.panics.Load(); got != 1 {
+		t.Errorf("panics counter = %d, want 1 (only the Crash sweep)", got)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	checkGoroutines(t, before)
+}
+
+// TestChaosCrashBurst arms a fresh Crash for every request in the burst
+// (sequentially, since arming is global) and checks the pool survives
+// repeated panics without losing workers.
+func TestChaosCrashBurst(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+	before := runtime.NumGoroutine()
+
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		disarm := faultinject.Arm(faultinject.Crash, 1)
+		var er ErrorResponse
+		code := postSolve(t, ts, "text/plain", satSource, &er)
+		disarm()
+		if code != http.StatusInternalServerError {
+			t.Fatalf("round %d: status = %d, want 500", i, code)
+		}
+		if er.IncidentID == "" {
+			t.Fatalf("round %d: missing incident ID", i)
+		}
+	}
+	if got := s.stats.panics.Load(); got != rounds {
+		t.Errorf("panics = %d, want %d", got, rounds)
+	}
+
+	// All workers survived: a clean burst still solves at full width.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sr SolveResponse
+			if code := postSolve(t, ts, "text/plain", satSource, &sr); code != http.StatusOK || sr.Status != StatusSat {
+				t.Errorf("post-crash solve = %d/%q, want 200/sat", code, sr.Status)
+			}
+		}()
+	}
+	wg.Wait()
+	http.DefaultClient.CloseIdleConnections()
+	checkGoroutines(t, before)
+}
+
+// TestChaosDrainUnderLoad starts slow solves, then drains mid-flight: every
+// admitted request must still get its answer, the drain must finish within
+// its bound, and late arrivals must see 503.
+func TestChaosDrainUnderLoad(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 16})
+	before := runtime.NumGoroutine()
+
+	const n = 8
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"system": %q, "options": {"timeout_ms": 600}}`, bombSource)
+			resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("in-flight request: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			var sr SolveResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				t.Errorf("in-flight response: %v", err)
+				return
+			}
+			codes <- resp.StatusCode
+		}()
+	}
+	// Wait until the load is admitted, then drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no request was ever admitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain under load: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Errorf("drain took %v; the 600ms per-request deadlines should bound it", elapsed)
+	}
+	wg.Wait()
+	close(codes)
+	got := 0
+	for code := range codes {
+		got++
+		if code != http.StatusOK && code != http.StatusServiceUnavailable {
+			t.Errorf("in-flight request answered %d", code)
+		}
+	}
+	if got != n {
+		t.Errorf("answered = %d, want %d (drain must not eat requests)", got, n)
+	}
+
+	// Late arrival: structured 503, not a hang or reset.
+	var er ErrorResponse
+	if code := postSolve(t, ts, "text/plain", satSource, &er); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain solve = %d, want 503", code)
+	}
+	if er.Code != CodeDraining {
+		t.Errorf("post-drain code = %q, want %q", er.Code, CodeDraining)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	checkGoroutines(t, before)
+}

@@ -1,0 +1,25 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// incidentSeq orders incidents within one process; the random suffix keeps
+// IDs unique across restarts so log aggregation never conflates two
+// crashes.
+var incidentSeq atomic.Int64
+
+// newIncidentID mints an identifier tying a 500 response to the server-side
+// log line that holds the recovered panic value and stack trace.
+func newIncidentID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively impossible; fall back to the
+		// sequence alone rather than failing the error path itself.
+		return fmt.Sprintf("inc-%06d", incidentSeq.Add(1))
+	}
+	return fmt.Sprintf("inc-%06d-%s", incidentSeq.Add(1), hex.EncodeToString(b[:]))
+}

@@ -1,0 +1,186 @@
+// Package retry implements budget-aware retries with jittered exponential
+// backoff, for clients of the dprled solving service and for re-running
+// budget-exhausted solves with escalated limits.
+//
+// The policy is deliberately pessimistic about time: before sleeping, Do
+// checks the context's remaining budget and gives up rather than burn the
+// caller's deadline waiting for an attempt it could never make. Server
+// backpressure hints (Retry-After) override the computed backoff via
+// After.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy shapes one retry loop. The zero value makes a single attempt.
+type Policy struct {
+	// MaxAttempts is the total number of attempts, including the first.
+	// Values below 1 mean 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt multiplies it by Multiplier, capped at MaxDelay. A zero
+	// BaseDelay retries immediately (useful when the retry escalates a
+	// resource budget rather than waiting out a transient fault).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 means no cap.
+	MaxDelay time.Duration
+	// Multiplier scales the delay between attempts; values below 1 mean 2.
+	Multiplier float64
+	// Jitter randomizes each delay to d×[1-Jitter, 1+Jitter], de-syncing
+	// clients that shed at the same moment. Clamped to [0, 1].
+	Jitter float64
+
+	// sleep and rnd are test seams; nil selects the real clock and
+	// math/rand.
+	sleep func(ctx context.Context, d time.Duration) error
+	rnd   func() float64
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent marks err as non-retryable: Do stops immediately and returns
+// it (unwrapped by errors.Is/As as usual).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// afterError carries a server backpressure hint (Retry-After) that
+// overrides the computed backoff for the next attempt.
+type afterError struct {
+	err   error
+	delay time.Duration
+}
+
+func (e *afterError) Error() string { return e.err.Error() }
+func (e *afterError) Unwrap() error { return e.err }
+
+// After attaches a server-provided delay hint to err: if Do retries, it
+// waits d instead of the computed backoff. A 429/503 handler's Retry-After
+// header is the intended source.
+func After(err error, d time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &afterError{err: err, delay: d}
+}
+
+// Do runs op until it succeeds, exhausts the policy's attempts, hits a
+// Permanent error, or runs out of context budget. The attempt number
+// (1-based) is passed to op so escalating retries can scale their
+// resource budgets. Do returns nil on success; otherwise the last error,
+// wrapped with the attempt count.
+func (p Policy) Do(ctx context.Context, op func(ctx context.Context, attempt int) error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	jitter := p.Jitter
+	if jitter < 0 {
+		jitter = 0
+	}
+	if jitter > 1 {
+		jitter = 1
+	}
+	sleep := p.sleep
+	if sleep == nil {
+		sleep = realSleep
+	}
+	rnd := p.rnd
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+
+	delay := p.BaseDelay
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return joinAttempts(lastErr, attempt-1, err)
+		}
+		err := op(ctx, attempt)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return joinAttempts(pe.err, attempt, nil)
+		}
+		if attempt == attempts {
+			break
+		}
+		wait := delay
+		var ae *afterError
+		if errors.As(err, &ae) {
+			wait = ae.delay
+		}
+		if p.MaxDelay > 0 && wait > p.MaxDelay {
+			wait = p.MaxDelay
+		}
+		if jitter > 0 && wait > 0 {
+			frac := 1 - jitter + 2*jitter*rnd()
+			wait = time.Duration(float64(wait) * frac)
+		}
+		// Budget-aware: a sleep that would outlive the caller's deadline
+		// cannot lead to a useful attempt, so stop now and hand the time
+		// back.
+		if dl, ok := ctx.Deadline(); ok && wait > 0 && time.Until(dl) < wait {
+			return joinAttempts(lastErr, attempt, context.DeadlineExceeded)
+		}
+		if wait > 0 {
+			if err := sleep(ctx, wait); err != nil {
+				return joinAttempts(lastErr, attempt, err)
+			}
+		}
+		delay = time.Duration(float64(delay) * mult)
+	}
+	return joinAttempts(lastErr, attempts, nil)
+}
+
+func realSleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// joinAttempts wraps the operation's last error with the attempt count
+// (and the budget error that stopped the loop, if any), keeping the
+// original error visible to errors.Is/As.
+func joinAttempts(opErr error, attempts int, stop error) error {
+	switch {
+	case opErr == nil && stop == nil:
+		return nil
+	case opErr == nil:
+		return fmt.Errorf("retry: stopped before the first attempt: %w", stop)
+	case stop == nil:
+		return fmt.Errorf("retry: %d attempt(s): %w", attempts, opErr)
+	default:
+		return fmt.Errorf("retry: %d attempt(s), stopped (%w): %w", attempts, stop, opErr)
+	}
+}

@@ -1,0 +1,228 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errFlaky = errors.New("flaky")
+
+// fakeClock records requested sleeps without waiting.
+type fakeClock struct {
+	slept []time.Duration
+}
+
+func (c *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	c.slept = append(c.slept, d)
+	return ctx.Err()
+}
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	err := Policy{MaxAttempts: 5}.Do(context.Background(), func(ctx context.Context, attempt int) error {
+		calls++
+		if attempt != 1 {
+			t.Errorf("attempt = %d, want 1", attempt)
+		}
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err = %v, calls = %d; want nil, 1", err, calls)
+	}
+}
+
+func TestDoRetriesWithExponentialBackoff(t *testing.T) {
+	clock := &fakeClock{}
+	p := Policy{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		Multiplier:  2,
+		sleep:       clock.sleep,
+	}
+	calls := 0
+	err := p.Do(context.Background(), func(ctx context.Context, attempt int) error {
+		calls++
+		if attempt != calls {
+			t.Errorf("attempt = %d on call %d", attempt, calls)
+		}
+		if calls < 4 {
+			return errFlaky
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(clock.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", clock.slept, want)
+	}
+	for i, d := range want {
+		if clock.slept[i] != d {
+			t.Errorf("sleep %d = %v, want %v", i, clock.slept[i], d)
+		}
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	clock := &fakeClock{}
+	calls := 0
+	err := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, sleep: clock.sleep}.
+		Do(context.Background(), func(ctx context.Context, attempt int) error {
+			calls++
+			return errFlaky
+		})
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, errFlaky) {
+		t.Errorf("err = %v, want wrapped errFlaky", err)
+	}
+}
+
+func TestMaxDelayCapsBackoff(t *testing.T) {
+	clock := &fakeClock{}
+	p := Policy{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    15 * time.Millisecond,
+		sleep:       clock.sleep,
+	}
+	_ = p.Do(context.Background(), func(ctx context.Context, attempt int) error { return errFlaky })
+	for i, d := range clock.slept {
+		if d > 15*time.Millisecond {
+			t.Errorf("sleep %d = %v exceeds MaxDelay", i, d)
+		}
+	}
+}
+
+func TestJitterStaysInBand(t *testing.T) {
+	for _, r := range []float64{0, 0.25, 0.5, 1} {
+		clock := &fakeClock{}
+		p := Policy{
+			MaxAttempts: 2,
+			BaseDelay:   100 * time.Millisecond,
+			Jitter:      0.5,
+			sleep:       clock.sleep,
+			rnd:         func() float64 { return r },
+		}
+		_ = p.Do(context.Background(), func(ctx context.Context, attempt int) error { return errFlaky })
+		if len(clock.slept) != 1 {
+			t.Fatalf("rnd=%v: slept %v, want one sleep", r, clock.slept)
+		}
+		d := clock.slept[0]
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Errorf("rnd=%v: jittered delay %v outside [50ms, 150ms]", r, d)
+		}
+	}
+}
+
+func TestPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	err := Policy{MaxAttempts: 5}.Do(context.Background(), func(ctx context.Context, attempt int) error {
+		calls++
+		return Permanent(errFlaky)
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, errFlaky) {
+		t.Errorf("err = %v, want wrapped errFlaky", err)
+	}
+}
+
+func TestIsPermanent(t *testing.T) {
+	if !IsPermanent(Permanent(errFlaky)) {
+		t.Error("IsPermanent(Permanent(err)) = false")
+	}
+	if IsPermanent(errFlaky) {
+		t.Error("IsPermanent(plain err) = true")
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+}
+
+func TestAfterOverridesBackoff(t *testing.T) {
+	clock := &fakeClock{}
+	p := Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, sleep: clock.sleep}
+	_ = p.Do(context.Background(), func(ctx context.Context, attempt int) error {
+		return After(errFlaky, 7*time.Second)
+	})
+	if len(clock.slept) != 1 || clock.slept[0] != 7*time.Second {
+		t.Errorf("slept %v, want [7s]", clock.slept)
+	}
+}
+
+func TestDeadlineAwareStop(t *testing.T) {
+	// The next backoff (1h) cannot fit in the 50ms budget: Do must give up
+	// without sleeping rather than burn the caller's deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	clock := &fakeClock{}
+	calls := 0
+	start := time.Now()
+	err := Policy{MaxAttempts: 5, BaseDelay: time.Hour, sleep: clock.sleep}.
+		Do(ctx, func(ctx context.Context, attempt int) error {
+			calls++
+			return errFlaky
+		})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+	if len(clock.slept) != 0 {
+		t.Errorf("slept %v, want no sleeps", clock.slept)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) || !errors.Is(err, errFlaky) {
+		t.Errorf("err = %v, want both DeadlineExceeded and errFlaky visible", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("Do waited instead of stopping early")
+	}
+}
+
+func TestCancelledContextStopsBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Policy{MaxAttempts: 3}.Do(ctx, func(ctx context.Context, attempt int) error {
+		calls++
+		return errFlaky
+	})
+	if calls != 0 {
+		t.Errorf("calls = %d, want 0", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRealSleepHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Policy{MaxAttempts: 2, BaseDelay: time.Hour}.
+		Do(ctx, func(ctx context.Context, attempt int) error { return errFlaky })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("sleep ignored cancellation")
+	}
+}
+
+func TestZeroValuePolicySingleAttempt(t *testing.T) {
+	calls := 0
+	err := Policy{}.Do(context.Background(), func(ctx context.Context, attempt int) error {
+		calls++
+		return errFlaky
+	})
+	if calls != 1 || !errors.Is(err, errFlaky) {
+		t.Fatalf("calls = %d, err = %v; want 1 attempt, wrapped errFlaky", calls, err)
+	}
+}

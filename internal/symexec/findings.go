@@ -13,6 +13,7 @@ import (
 	"dprle/internal/core"
 	"dprle/internal/lang"
 	"dprle/internal/policy"
+	"dprle/internal/server/retry"
 )
 
 // Finding is a confirmed vulnerability: a feasible path to a sink together
@@ -69,6 +70,12 @@ type Config struct {
 	// core.Options.Limits). 0 means unlimited.
 	MaxStates int64
 	MaxSteps  int64
+	// ExhaustedRetries re-runs a path whose solve tripped MaxStates or
+	// MaxSteps, scaling both caps 4x per attempt (1x, 4x, 16x, ...), up to
+	// this many extra attempts. Deadline trips are not retried — a bigger
+	// state budget cannot buy back wall-clock time. Usage across attempts
+	// is summed. 0 disables retries.
+	ExhaustedRetries int
 }
 
 // DefaultConfig returns the configuration the experiments use: the paper's
@@ -159,17 +166,56 @@ func AnalyzeProgram(prog *lang.Program, cfgc Config) ([]Finding, AnalysisStats, 
 
 // decidePath runs the budgeted decision procedure for one path's constraint
 // system, giving each path its own deadline so one pathological system
-// cannot consume the whole analysis.
+// cannot consume the whole analysis. When ExhaustedRetries is set, a solve
+// that tripped a state or step cap is re-run through retry.Policy with the
+// caps escalated 4x per attempt; a deadline or cancellation stops
+// immediately, and each attempt gets a fresh PathTimeout.
 func decidePath(ps *PathSystem, cfgc Config) (core.Assignment, bool, budget.Usage, error) {
-	ctx := context.Background()
-	if cfgc.PathTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, cfgc.PathTimeout)
-		defer cancel()
+	var (
+		assignment core.Assignment
+		ok         bool
+		total      budget.Usage
+		solveErr   error
+	)
+	policy := retry.Policy{MaxAttempts: 1 + cfgc.ExhaustedRetries}
+	_ = policy.Do(context.Background(), func(ctx context.Context, attempt int) error {
+		actx := ctx
+		if cfgc.PathTimeout > 0 {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(ctx, cfgc.PathTimeout)
+			defer cancel()
+		}
+		scale := int64(1) << (2 * uint(attempt-1)) // 1x, 4x, 16x, ...
+		opts := cfgc.Solver
+		opts.Limits = budget.Limits{
+			MaxStates: scaleLimit(cfgc.MaxStates, scale),
+			MaxSteps:  scaleLimit(cfgc.MaxSteps, scale),
+		}
+		var usage budget.Usage
+		assignment, ok, usage, solveErr = core.DecideCtx(actx, ps.Sys, ps.Inputs, opts)
+		total.States += usage.States
+		total.Steps += usage.Steps
+		total.Exhausted = usage.Exhausted
+		if solveErr == nil {
+			return nil
+		}
+		var ex *budget.Exhausted
+		if errors.As(solveErr, &ex) && (ex.Kind == budget.States || ex.Kind == budget.Steps) {
+			return solveErr // a bigger cap may let this path finish
+		}
+		return retry.Permanent(solveErr)
+	})
+	// Callers errors.As the raw solver error, so return it unwrapped.
+	return assignment, ok, total, solveErr
+}
+
+// scaleLimit multiplies a cap by the escalation factor, leaving 0
+// (unlimited) alone.
+func scaleLimit(limit, scale int64) int64 {
+	if limit <= 0 {
+		return limit
 	}
-	opts := cfgc.Solver
-	opts.Limits = budget.Limits{MaxStates: cfgc.MaxStates, MaxSteps: cfgc.MaxSteps}
-	return core.DecideCtx(ctx, ps.Sys, ps.Inputs, opts)
+	return limit * scale
 }
 
 // AnalyzeSource parses and analyzes a PHP-subset source file.

@@ -165,3 +165,36 @@ func TestWriteCorpusAppErrors(t *testing.T) {
 		t.Fatal("missing dir must error")
 	}
 }
+
+// TestExhaustedRetriesEscalate drives the retry-with-bigger-budget path:
+// fig1 needs between 100 and 200 solver states, so a 50-state cap trips on
+// the first attempt and succeeds on the escalated (4x = 200) second one.
+func TestExhaustedRetriesEscalate(t *testing.T) {
+	// Without retries the cap kills the path.
+	rep, err := AnalyzeSource("fig1.php", fig1, WithSolverLimits(50, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExhaustedPaths != 1 || len(rep.Findings) != 0 {
+		t.Fatalf("no-retry run: exhausted=%d findings=%d, want 1/0", rep.ExhaustedPaths, len(rep.Findings))
+	}
+
+	// One escalating retry quadruples the cap and the exploit is found.
+	rep, err = AnalyzeSource("fig1.php", fig1, WithSolverLimits(50, 0), WithExhaustedRetries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExhaustedPaths != 0 || len(rep.Findings) != 1 {
+		t.Fatalf("retry run: exhausted=%d findings=%d, want 0/1", rep.ExhaustedPaths, len(rep.Findings))
+	}
+
+	// Retries that still cannot cover the need keep the degraded report:
+	// 10 -> 40 states remains below the ~200 the path requires.
+	rep, err = AnalyzeSource("fig1.php", fig1, WithSolverLimits(10, 0), WithExhaustedRetries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExhaustedPaths != 1 || len(rep.Findings) != 0 {
+		t.Fatalf("undersized-retry run: exhausted=%d findings=%d, want 1/0", rep.ExhaustedPaths, len(rep.Findings))
+	}
+}
