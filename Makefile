@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos lint fix fmt cover bench
+.PHONY: all build test race chaos lint fix fmt cover bench bench-cache
 
 all: build lint test
 
@@ -15,10 +15,10 @@ race:
 	$(GO) test -race ./...
 
 # Chaos harness: fault-injection sweeps, the worker-pool panic/cancel
-# matrix, and drain-under-load, all under the race detector (the `chaos`
-# CI job).
+# matrix, drain-under-load, and request collapsing under concurrent load,
+# all under the race detector (the `chaos` CI job).
 chaos:
-	$(GO) test -race -count=2 -run 'Chaos|Pool|Drain|Shed|Disconnect' ./internal/server/ ./cmd/dprled/
+	$(GO) test -race -count=2 -run 'Chaos|Pool|Drain|Shed|Disconnect|Collapse' ./internal/server/ ./cmd/dprled/
 
 # Static analysis: go vet plus the repo-specific invariant suite
 # (DESIGN.md §7). Both exit non-zero on findings, failing the build.
@@ -39,3 +39,9 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Cache smoke: corpus-wide cached≡uncached equivalence (witnesses verified),
+# the >=10x warm-speedup bound, and the cold/warm benchmarks, one iteration
+# each (the `bench-cache` CI job). Fails on any cache-correctness assertion.
+bench-cache:
+	$(GO) test -bench='BenchmarkCache' -benchtime=1x -run 'TestCacheCorpus' -v .

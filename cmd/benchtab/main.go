@@ -14,6 +14,9 @@
 // materialized, checkpoints passed, exhausted paths).
 //
 //	benchtab -table complexity   the §3.5 complexity sweeps
+//	benchtab -table cache        the solve-cache cold/warm experiment on the
+//	                             fig12 corpus; also writes the report as JSON
+//	                             to -cache-json (default BENCH_cache.json)
 //	benchtab -table all          everything (without -full, secure is skipped)
 //
 // Measured values are printed alongside the published ones so the shape of
@@ -22,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout   = fs.Duration("timeout", 0, "per-path solve deadline for fig12; exhausted paths are recorded, not fatal (0 = none)")
 		maxStates = fs.Int64("max-states", 0, "per-path cap on NFA states materialized (0 = unlimited)")
 		maxSteps  = fs.Int64("max-steps", 0, "per-path cap on solver checkpoints (0 = unlimited)")
+		cacheJSON = fs.String("cache-json", "BENCH_cache.json", "write the -table cache report to this file as JSON (empty = don't)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -87,6 +92,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, experiments.FormatAblation(defect, rows))
 		return 0
 	}
+	runCache := func() int {
+		rep, err := experiments.CacheExperiment(opts, !*full)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtab: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, experiments.FormatCache(rep))
+		if *cacheJSON != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintf(stderr, "benchtab: %v\n", err)
+				return 2
+			}
+			if err := os.WriteFile(*cacheJSON, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(stderr, "benchtab: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *cacheJSON)
+		}
+		return 0
+	}
 	runComplexity := func() int {
 		out, err := experiments.ComplexityTable([]int{4, 8, 16, 32, 64})
 		if err != nil {
@@ -106,6 +132,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runComplexity()
 	case "ablation":
 		return runAblation()
+	case "cache":
+		return runCache()
 	case "all":
 		if rc := runFig11(); rc != 0 {
 			return rc
@@ -114,6 +142,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return rc
 		}
 		if rc := runAblation(); rc != 0 {
+			return rc
+		}
+		if rc := runCache(); rc != 0 {
 			return rc
 		}
 		return runComplexity()

@@ -60,10 +60,57 @@ func TestRunParseError(t *testing.T) {
 	}
 }
 
-func TestRunTooManyArgs(t *testing.T) {
+func TestRunMultipleFiles(t *testing.T) {
+	dir := t.TempDir()
+	sat := filepath.Join(dir, "sat.dprle")
+	unsat := filepath.Join(dir, "unsat.dprle")
+	if err := os.WriteFile(sat, []byte("const c := re /ab*/;\nv <= c;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(unsat, []byte("const a := re /x/;\nconst b := re /y/;\nv <= a;\nv <= b;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	var out, errb strings.Builder
-	if rc := run([]string{"a", "b"}, strings.NewReader(""), &out, &errb); rc != 2 {
-		t.Fatalf("rc = %d, want 2", rc)
+	rc := run([]string{sat, unsat}, strings.NewReader(""), &out, &errb)
+	if rc != 1 {
+		t.Fatalf("rc = %d, want 1 (unsat dominates sat); stderr %q", rc, errb.String())
+	}
+	for _, want := range []string{"== " + sat + " ==", "== " + unsat + " ==", "assignment 1:", "no assignments found"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunBatchCacheReuse solves the same file twice in one invocation: the
+// second solve must hit the shared component cache, and -usage must report
+// the counters.
+func TestRunBatchCacheReuse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sys.dprle")
+	src := "const c := re /ab/;\nv1 . v2 <= c;\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	rc := run([]string{"-usage", path, path}, strings.NewReader(""), &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc = %d, stderr %q", rc, errb.String())
+	}
+	if !strings.Contains(errb.String(), "cache: hits=") {
+		t.Fatalf("stderr missing cache counters: %q", errb.String())
+	}
+	if strings.Contains(errb.String(), "cache: hits=0 ") {
+		t.Fatalf("repeated file produced no cache hits: %q", errb.String())
+	}
+	// Both solves print the same assignments.
+	if got := strings.Count(out.String(), "assignment 1:"); got != 2 {
+		t.Fatalf("assignment blocks = %d, want 2:\n%s", got, out.String())
+	}
+
+	// With caching disabled the batch still solves, with zero reuse.
+	var out2, errb2 strings.Builder
+	if rc := run([]string{"-cache-size", "-1", path, path}, strings.NewReader(""), &out2, &errb2); rc != 0 {
+		t.Fatalf("disabled-cache rc = %d, stderr %q", rc, errb2.String())
 	}
 }
 

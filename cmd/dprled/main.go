@@ -13,7 +13,11 @@
 // is bound (ADDR resolves :0 to the chosen port) and runs until SIGINT or
 // SIGTERM, then drains: readiness flips to 503, in-flight solves finish
 // within -drain-timeout, and the process exits 0 on a clean drain or 1 if
-// stragglers had to be abandoned.
+// stragglers had to be abandoned. Complete answers are memoized in a
+// bounded cache (-cache-entries/-cache-bytes) and concurrent identical
+// requests share one solve unless -no-collapse; every /solve response
+// reports how it was produced in an X-Dprle-Cache: hit|miss|collapsed
+// header, and /statusz exposes the counters.
 //
 // In client mode dprled reads a constraint system from the file argument
 // (or standard input), POSTs it to -url, and retries shed (429) and
@@ -71,6 +75,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer, sigs <-chan o
 		maxSteps     = fs.Int64("max-steps", 0, "ceiling on per-request solver steps (0 = default, negative = unlimited)")
 		bodyLimit    = fs.Int64("body-limit", 0, "request body byte cap (0 = 1MiB)")
 		drainTimeout = fs.Duration("drain-timeout", 0, "bound on the SIGTERM drain (0 = 10s)")
+		cacheEntries = fs.Int("cache-entries", 0, "solve cache entry cap (0 = 4096, negative = disable caching)")
+		cacheBytes   = fs.Int64("cache-bytes", 0, "solve cache byte budget (0 = 64MiB)")
+		noCollapse   = fs.Bool("no-collapse", false, "disable collapsing of concurrent identical requests")
 
 		client    = fs.Bool("client", false, "one-shot client mode: POST a system to -url")
 		url       = fs.String("url", "http://127.0.0.1:8723", "server base URL (client mode)")
@@ -98,6 +105,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer, sigs <-chan o
 		MaxSteps:       *maxSteps,
 		MaxBodyBytes:   *bodyLimit,
 		DrainTimeout:   *drainTimeout,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		NoCollapse:     *noCollapse,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stderr, "dprled: "+format+"\n", a...)
 		},

@@ -8,6 +8,7 @@ import (
 
 	"dprle/internal/budget"
 	"dprle/internal/core"
+	"dprle/internal/solvecache"
 )
 
 // Expr is the left-hand side of a subset constraint: a variable, a constant,
@@ -59,16 +60,69 @@ type Options struct {
 	MaxSteps int64
 	// Sequential disables the concurrent solving of independent CI-groups.
 	Sequential bool
+	// Cache memoizes solved components across calls (see NewCache). nil
+	// disables memoization. The same Cache may be shared by concurrent
+	// solves and across different systems: entries are keyed by canonical
+	// structural fingerprints plus the option fields that shape them, so
+	// a hit is always a sound substitute for re-solving.
+	Cache *Cache
 }
 
 func (o Options) toCore() core.Options {
-	return core.Options{
+	co := core.Options{
 		MaxSolutions: o.MaxSolutions,
 		Minimize:     o.Minimize,
 		RawConstants: o.RawConstants,
 		NoMaximalize: o.NoMaximalize,
 		Sequential:   o.Sequential,
 		Limits:       budget.Limits{MaxStates: o.MaxStates, MaxSteps: o.MaxSteps},
+	}
+	if o.Cache != nil {
+		co.Cache = o.Cache.c
+	}
+	return co
+}
+
+// Cache is a bounded, thread-safe memoization store for solved
+// constraint-graph components. A system whose components were all seen
+// before (under the same relevant options) solves in hash time; results
+// produced under a tripped budget are never stored, so cached answers are
+// always complete. Create one with NewCache and share it via
+// Options.Cache.
+type Cache struct {
+	c *solvecache.Cache
+}
+
+// NewCache returns a Cache holding at most maxEntries values totalling at
+// most maxBytes of accounted cost. Zero selects the defaults (4096
+// entries, 64 MiB); a negative value leaves that bound unenforced.
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	return &Cache{c: solvecache.New(solvecache.Config{MaxEntries: maxEntries, MaxBytes: maxBytes})}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Puts      uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int64
+}
+
+// Stats snapshots the cache counters. A nil Cache reports zeros.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	s := c.c.Stats()
+	return CacheStats{
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Puts:      s.Puts,
+		Evictions: s.Evictions,
+		Entries:   s.Entries,
+		Bytes:     s.Bytes,
 	}
 }
 

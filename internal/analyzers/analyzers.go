@@ -1,13 +1,15 @@
 // Package analyzers registers the dprlelint static-analysis suite: the
 // project-specific passes that turn the solver's coding conventions
 // (budget threading, deterministic iteration, panic-free API, context
-// propagation) into machine-checked invariants. See DESIGN.md §7.
+// propagation, canonical cache keys) into machine-checked invariants.
+// See DESIGN.md §7.
 package analyzers
 
 import (
 	"dprle/internal/analysis"
 	"dprle/internal/analyzers/budgetcheck"
 	"dprle/internal/analyzers/budgetflow"
+	"dprle/internal/analyzers/cachekey"
 	"dprle/internal/analyzers/ctxbudget"
 	"dprle/internal/analyzers/mapiterorder"
 	"dprle/internal/analyzers/nilness"
@@ -20,6 +22,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		budgetcheck.Analyzer,
 		budgetflow.Analyzer,
+		cachekey.Analyzer,
 		ctxbudget.Analyzer,
 		mapiterorder.Analyzer,
 		nilness.Analyzer,

@@ -1,0 +1,12 @@
+package cachekey_test
+
+import (
+	"testing"
+
+	"dprle/internal/analysis/analysistest"
+	"dprle/internal/analyzers/cachekey"
+)
+
+func TestCacheKey(t *testing.T) {
+	analysistest.Run(t, "testdata", cachekey.Analyzer, "a")
+}

@@ -1,0 +1,10 @@
+// Package solvecache is a minimal stand-in for dprle/internal/solvecache:
+// just the sink surface the cachekey analyzer matches on.
+package solvecache
+
+type Cache struct{}
+
+func (c *Cache) Get(key string) (any, bool)          { return nil, false }
+func (c *Cache) Put(key string, val any, cost int64) {}
+
+func Key(domain string, parts ...string) string { return domain }

@@ -6,6 +6,7 @@ import (
 	"dprle/internal/budget"
 	"dprle/internal/faultinject"
 	"dprle/internal/nfa"
+	"dprle/internal/solvecache"
 )
 
 // gci implements the generalized concat-intersect procedure of Fig. 8: it
@@ -49,14 +50,21 @@ type gciSolver struct {
 // optimization — the minimal DFA recognizes the same language — so when the
 // budget trips mid-minimization the cache degrades to the raw constant
 // machine instead of failing the solve.
+//
+// The per-solve map (keyed by *Const identity) is the first level; when the
+// solve carries a shared solvecache.Cache, minimized constants are also
+// memoized across solves under the raw machine's canonical key, so a
+// constant's minimization cost is paid once per structure process-wide
+// rather than once per solve.
 type constCache struct {
-	raw   bool
-	bud   *budget.Budget
-	canon map[*Const]*nfa.NFA
+	raw    bool
+	bud    *budget.Budget
+	canon  map[*Const]*nfa.NFA
+	shared *solvecache.Cache
 }
 
 func newConstCache(opts Options, bud *budget.Budget) *constCache {
-	return &constCache{raw: opts.RawConstants, bud: bud, canon: map[*Const]*nfa.NFA{}}
+	return &constCache{raw: opts.RawConstants, bud: bud, canon: map[*Const]*nfa.NFA{}, shared: opts.Cache}
 }
 
 func (cc *constCache) get(c *Const) *nfa.NFA {
@@ -66,11 +74,23 @@ func (cc *constCache) get(c *Const) *nfa.NFA {
 	if m, ok := cc.canon[c]; ok {
 		return m
 	}
+	var key string
+	if cc.shared != nil {
+		key = solvecache.Key("const", c.Lang.CanonicalKey())
+		if v, ok := cc.shared.Get(key); ok {
+			m := v.(*nfa.NFA)
+			cc.canon[c] = m
+			return m
+		}
+	}
 	m, err := nfa.MinimizedB(cc.bud, c.Lang)
 	if err != nil {
 		return c.Lang // budget tripped: degrade to the equivalent raw machine
 	}
 	cc.canon[c] = m
+	if cc.shared != nil && cc.bud.Err() == nil {
+		cc.shared.Put(key, m, machineCost(m))
+	}
 	return m
 }
 

@@ -63,6 +63,15 @@ func solveForBudget(s *System, interest []string, opts Options, bud *budget.Budg
 		if err := bud.Check("solve-for.free-vars"); err != nil {
 			return nil, err
 		}
+		var fvKey string
+		if opts.Cache != nil {
+			fvKey = freeVarKey(g, id, opts)
+			if cached, ok := lookupFreeVar(opts.Cache, fvKey); ok {
+				base[n.Name] = cached
+				covered[n.Name] = true
+				continue
+			}
+		}
 		lang := nfa.AnyString()
 		for _, c := range g.SubsetsInto(id) {
 			li, err := nfa.IntersectB(bud, lang, canon.get(c))
@@ -70,6 +79,11 @@ func solveForBudget(s *System, interest []string, opts Options, bud *budget.Budg
 				return nil, err
 			}
 			lang = li.Trim()
+		}
+		if opts.Cache != nil {
+			if err := storeFreeVar(opts.Cache, fvKey, lang, bud); err != nil {
+				return nil, err
+			}
 		}
 		base[n.Name] = lang
 		covered[n.Name] = true
@@ -87,14 +101,21 @@ func solveForBudget(s *System, interest []string, opts Options, bud *budget.Budg
 		}
 	}
 	solver := &gciSolver{g: g, opts: opts, canon: canon, bud: bud, varLang: map[int]*nfa.NFA{}, built: map[int]*nfa.NFA{}}
-	var maxer *maximizer
-	if !opts.NoMaximalize {
-		maxer = newMaximizer(s, bud)
-	}
+	var maxer *maximizer // built on first fresh group: an all-hits solve never pays for it
 	var perGroup [][]map[int]*nfa.NFA
 	var exhaustedErr error
 	for gi, group := range touchedGroups {
-		sols, err := solver.solveGroup(group)
+		var key string
+		var sols []map[int]*nfa.NFA
+		var trunc, hit bool
+		var err error
+		if opts.Cache != nil {
+			key = componentKey(g, group, opts)
+			sols, trunc, hit = lookupGroup(opts.Cache, key, group)
+		}
+		if !hit {
+			sols, trunc, err = solver.solveGroupTrunc(group)
+		}
 		if err != nil {
 			var ex *budget.Exhausted
 			if !errors.As(err, &ex) {
@@ -108,6 +129,13 @@ func solveForBudget(s *System, interest []string, opts Options, bud *budget.Budg
 			}
 			exhaustedErr = err
 		} else if len(sols) == 0 {
+			// Genuine unsat: cache the proof, unless a fault trips the fill,
+			// in which case the answer degrades to unknown.
+			if !hit {
+				if serr := storeGroup(opts.Cache, key, group, nil, trunc, bud); serr != nil {
+					return &Result{}, serr
+				}
+			}
 			return &Result{}, nil
 		}
 		for _, id := range group {
@@ -115,8 +143,18 @@ func solveForBudget(s *System, interest []string, opts Options, bud *budget.Budg
 				covered[g.Nodes[id].Name] = true
 			}
 		}
-		if maxer != nil {
+		if !opts.NoMaximalize && !hit {
+			if maxer == nil {
+				maxer = newMaximizer(s, bud)
+			}
 			sols = maximalizeGroup(maxer, g, group, sols)
+		}
+		if !hit && err == nil {
+			if serr := storeGroup(opts.Cache, key, group, sols, trunc, bud); serr != nil {
+				if exhaustedErr == nil {
+					exhaustedErr = serr
+				}
+			}
 		}
 		perGroup = append(perGroup, sols)
 	}

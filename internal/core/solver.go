@@ -11,6 +11,7 @@ import (
 	"dprle/internal/budget"
 	"dprle/internal/faultinject"
 	"dprle/internal/nfa"
+	"dprle/internal/solvecache"
 )
 
 // Options configures the solver.
@@ -43,6 +44,14 @@ type Options struct {
 	// like the raw concat_intersect output). Intended for ablation
 	// benchmarks.
 	NoMaximalize bool
+	// Cache memoizes per-component solutions (CI-groups, free-variable
+	// reductions, canonicalized constants) across solves, keyed by canonical
+	// structural fingerprints (see internal/solvecache and cache.go). A nil
+	// cache disables memoization. The cache is safe for concurrent use and
+	// may be shared across solves with different Options: the relevant
+	// option fields are part of every key. Results from solves that tripped
+	// their budget are never stored.
+	Cache *solvecache.Cache
 	// Limits bounds the resources the solve may consume (NFA states
 	// materialized, solver checkpoints). Zero fields mean unlimited. Wall
 	//-clock deadlines and cancellation come from the context passed to
@@ -179,13 +188,23 @@ func solveBudget(s *System, opts Options, bud *budget.Budget) (*Result, error) {
 	g := BuildGraph(s)
 	canon := newConstCache(opts, bud)
 
-	// Stage 1: free variables (no concat edges) reduce by intersection.
+	// Stage 1: free variables (no concat edges) reduce by intersection,
+	// consulting the cache first: the reduced language is a function of the
+	// constraining constant languages alone.
 	base := Assignment{}
 	for _, id := range g.FreeVars() {
 		if err := bud.Check("solve.free-vars"); err != nil {
 			return nil, err
 		}
 		n := g.Nodes[id]
+		var fvKey string
+		if opts.Cache != nil {
+			fvKey = freeVarKey(g, id, opts)
+			if cached, ok := lookupFreeVar(opts.Cache, fvKey); ok {
+				base[n.Name] = cached
+				continue
+			}
+		}
 		lang := nfa.AnyString()
 		for _, c := range g.SubsetsInto(id) {
 			li, err := nfa.IntersectB(bud, lang, canon.get(c))
@@ -197,6 +216,11 @@ func solveBudget(s *System, opts Options, bud *budget.Budget) (*Result, error) {
 		if opts.Minimize {
 			if ml, err := nfa.MinimizedB(bud, lang); err == nil {
 				lang = ml
+			}
+		}
+		if opts.Cache != nil {
+			if err := storeFreeVar(opts.Cache, fvKey, lang, bud); err != nil {
+				return nil, err
 			}
 		}
 		base[n.Name] = lang
@@ -220,14 +244,36 @@ func solveBudget(s *System, opts Options, bud *budget.Budget) (*Result, error) {
 	perGroup := make([][]map[int]*nfa.NFA, len(groups))
 	groupTrunc := make([]bool, len(groups))
 	groupErrs := make([]error, len(groups))
-	if len(groups) <= 1 || opts.Sequential {
+	// Cache lookup pass: a group whose canonical key was solved before —
+	// in any earlier system, under any variable names — is answered in
+	// hash time with its stored post-maximalized disjuncts.
+	groupKeys := make([]string, len(groups))
+	cachedGroup := make([]bool, len(groups))
+	uncached := 0
+	for i, group := range groups {
+		if opts.Cache != nil {
+			groupKeys[i] = componentKey(g, group, opts)
+			if sols, trunc, hit := lookupGroup(opts.Cache, groupKeys[i], group); hit {
+				perGroup[i], groupTrunc[i], cachedGroup[i] = sols, trunc, true
+				continue
+			}
+		}
+		uncached++
+	}
+	if uncached <= 1 || opts.Sequential {
 		for i, group := range groups {
+			if cachedGroup[i] {
+				continue
+			}
 			solver := &gciSolver{g: g, opts: opts, canon: canon, bud: bud, varLang: map[int]*nfa.NFA{}, built: map[int]*nfa.NFA{}}
 			perGroup[i], groupTrunc[i], groupErrs[i] = solver.solveGroupTrunc(group)
 		}
 	} else {
 		var wg sync.WaitGroup
 		for i, group := range groups {
+			if cachedGroup[i] {
+				continue
+			}
 			wg.Add(1)
 			go func(i int, group []int) {
 				defer wg.Done()
@@ -265,9 +311,17 @@ func solveBudget(s *System, opts Options, bud *budget.Budget) (*Result, error) {
 	}
 	// Genuine unsat wins over exhaustion elsewhere: a group that completed
 	// with zero disjuncts proves the whole system has no all-nonempty
-	// assignment, regardless of what the budget did to other groups.
+	// assignment, regardless of what the budget did to other groups. The
+	// unsat proof itself is cached (an empty disjunct set needs no
+	// maximalization); a tripped fill degrades the answer to unknown
+	// rather than asserting unsat past an injected fault.
 	for i := range groups {
 		if groupErrs[i] == nil && len(perGroup[i]) == 0 {
+			if !cachedGroup[i] {
+				if err := storeGroup(opts.Cache, groupKeys[i], groups[i], nil, groupTrunc[i], bud); err != nil {
+					return &Result{}, err
+				}
+			}
 			return &Result{}, nil
 		}
 	}
@@ -299,9 +353,33 @@ func solveBudget(s *System, opts Options, bud *budget.Budget) (*Result, error) {
 	// itself maximal and duplicate-free. Under an exhausted budget this
 	// whole stage degrades to the identity (see maximalizeVars).
 	if !opts.NoMaximalize {
-		maxer := newMaximizer(s, bud)
+		var maxer *maximizer // built on first fresh group: an all-hits solve never pays for it
 		for gi, sols := range perGroup {
+			if cachedGroup[gi] {
+				continue // cached disjuncts are already maximal
+			}
+			if maxer == nil {
+				maxer = newMaximizer(s, bud)
+			}
 			perGroup[gi] = maximalizeGroup(maxer, g, groups[gi], sols)
+		}
+	}
+
+	// Fill pass: freshly solved, fully maximalized groups enter the cache.
+	// storeGroup declines while the budget has tripped (the solve above may
+	// have degraded), so exhausted solves leave the cache untouched; a
+	// fault injected inside the fill skips the store and degrades this
+	// solve's answer without poisoning the cache for later ones.
+	if opts.Cache != nil {
+		for gi := range groups {
+			if cachedGroup[gi] || groupErrs[gi] != nil {
+				continue
+			}
+			if err := storeGroup(opts.Cache, groupKeys[gi], groups[gi], perGroup[gi], groupTrunc[gi], bud); err != nil {
+				if exhaustedErr == nil {
+					exhaustedErr = err
+				}
+			}
 		}
 	}
 

@@ -38,11 +38,17 @@ const (
 	// the chaos harness's stand-in for an internal invariant violation,
 	// proving that per-request recover boundaries hold.
 	Crash Point = "crash"
+	// CacheFill fires inside the solve cache's fill path (internal/core
+	// storeGroup/storeFreeVar), after a component has been solved but
+	// before its solution is stored. A tripped fill must skip the store —
+	// never poisoning the cache with a partial entry — and degrade only
+	// the request that was filling.
+	CacheFill Point = "cache-fill"
 )
 
 // Points lists every probe class, for sweeps that must cover all sites.
 func Points() []Point {
-	return []Point{Alloc, Checkpoint, GCIPop, GroupProduct, Crash}
+	return []Point{Alloc, Checkpoint, GCIPop, GroupProduct, Crash, CacheFill}
 }
 
 type plan struct {

@@ -1,0 +1,316 @@
+package nfa
+
+import (
+	"encoding/binary"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// Canonicalization: a state renumbering that depends only on the machine's
+// structure, so that structurally identical machines — equal up to a
+// bijection on state ids preserving character edges, labels, seam tags,
+// start, and final — serialize to identical bytes regardless of how their
+// states happened to be numbered during construction.
+//
+// The renumbering is computed in two steps. First, Weisfeiler–Leman color
+// refinement partitions states by their local structure: the initial color
+// records only start/final status, and each round extends a state's color
+// with the sorted multiset of (label, neighbor-color) pairs over both its
+// outgoing and incoming transitions, until the partition stops refining.
+// Second, a breadth-first traversal from the start state assigns canonical
+// ids, visiting successors in (label, color) order; states the refinement
+// could not separate are tied and broken arbitrarily, which can make two
+// isomorphic machines canonicalize differently in rare symmetric cases.
+// That asymmetry is safe for caching: equal canonical forms always describe
+// isomorphic machines (the form is a faithful serialization of the machine
+// itself), so a collision can only be a hit, never a confusion — ties cost
+// missed cache hits, not wrong answers.
+//
+// Both steps identify a transition by a numeric dimension rather than a
+// rendered label string: character labels get even dimensions in rangesText
+// order (content-determined, so independent of construction order) and
+// ε-tags get odd dimensions straight from the tag value. Refinement
+// signatures are then sortable integer tuples, which keeps key derivation
+// cheap enough to sit on the solver's cache-lookup path.
+
+// Canonicalize returns a machine isomorphic to m with canonical state
+// numbering and deterministically sorted edge lists. The language, seam
+// tags, and state count are preserved exactly.
+func (m *NFA) Canonicalize() *NFA {
+	dims := m.labelDims()
+	colors := m.refineColors(dims)
+	order := m.canonicalOrder(colors, dims)
+	ren := make([]int, m.NumStates())
+	for newID, oldID := range order {
+		ren[oldID] = newID
+	}
+	b := NewBuilder()
+	b.AddStates(m.NumStates())
+	for newID, oldID := range order {
+		edges := make([]Edge, len(m.edges[oldID]))
+		for i, e := range m.edges[oldID] {
+			edges[i] = Edge{Label: e.Label, To: ren[e.To]}
+		}
+		slices.SortFunc(edges, func(a, b Edge) int {
+			if a.To != b.To {
+				return a.To - b.To
+			}
+			return int(dims[a.Label]) - int(dims[b.Label])
+		})
+		eps := make([]EpsEdge, len(m.eps[oldID]))
+		copy(eps, m.eps[oldID])
+		for i := range eps {
+			eps[i].To = ren[eps[i].To]
+		}
+		slices.SortFunc(eps, func(a, b EpsEdge) int {
+			if a.To != b.To {
+				return a.To - b.To
+			}
+			return a.Tag - b.Tag
+		})
+		b.edges[newID] = edges
+		b.eps[newID] = eps
+	}
+	return b.Build(ren[m.start], ren[m.final])
+}
+
+// CanonicalKey returns the canonical serialization of the machine: the wire
+// format of Canonicalize(). Equal keys imply isomorphic machines (hence
+// equal languages and seam structure), which makes the key sound as a cache
+// key; isomorphic machines produce equal keys except under unresolved
+// structural symmetry, where a lookup merely misses.
+//
+// The key is memoized on the machine: repeated calls — the common case when
+// the same constant constrains many components, or an interned machine is
+// consulted by many queries — cost one atomic load.
+func (m *NFA) CanonicalKey() string {
+	if k := m.canon.Load(); k != nil {
+		return *k
+	}
+	k := m.Canonicalize().Marshal()
+	m.canon.Store(&k)
+	return k
+}
+
+// labelDims assigns every transition kind a numeric dimension used to order
+// and compare transitions during canonicalization: distinct character-edge
+// labels get even dimensions in rangesText order, ε-edges with tag t
+// (NoTag = -1 included) get dimension 2·(t+1)+1. The assignment depends
+// only on edge contents, never on construction or iteration order, so
+// isomorphic machines agree on every dimension.
+func (m *NFA) labelDims() map[CharSet]uint64 {
+	labels := m.allLabels()
+	type lt struct {
+		label CharSet
+		text  string
+	}
+	lts := make([]lt, len(labels))
+	for i, l := range labels {
+		lts[i] = lt{l, rangesText(l)}
+	}
+	slices.SortFunc(lts, func(a, b lt) int { return strings.Compare(a.text, b.text) })
+	dims := make(map[CharSet]uint64, len(lts))
+	for i, x := range lts {
+		dims[x.label] = 2 * uint64(i)
+	}
+	return dims
+}
+
+// epsDim is the dimension of an ε-edge with the given tag.
+func epsDim(tag int) uint64 { return 2*uint64(tag+1) + 1 }
+
+// refineColors runs WL color refinement and returns a color per state.
+// Colors are small ints; equal colors mean the refinement could not
+// distinguish the states' neighborhoods.
+func (m *NFA) refineColors(dims map[CharSet]uint64) []int {
+	n := m.NumStates()
+
+	// Forward and reverse adjacency with per-edge dimensions precomputed,
+	// so each refinement round touches only integers.
+	type adj struct {
+		peer int
+		dim  uint64
+	}
+	fwd := make([][]adj, n)
+	rin := make([][]adj, n)
+	for s := 0; s < n; s++ {
+		for _, e := range m.edges[s] {
+			d := dims[e.Label]
+			fwd[s] = append(fwd[s], adj{e.To, d})
+			rin[e.To] = append(rin[e.To], adj{s, d})
+		}
+		for _, e := range m.eps[s] {
+			d := epsDim(e.Tag)
+			fwd[s] = append(fwd[s], adj{e.To, d})
+			rin[e.To] = append(rin[e.To], adj{s, d})
+		}
+	}
+
+	// Seed colors with (start/final flags, distance from start, distance to
+	// final). All three are isomorphism invariants, so the seed partition is
+	// as sound as the flags-only one — but it already separates the states
+	// of chain-shaped machines, which would otherwise need one refinement
+	// round per link to tell apart (WL propagates one hop per round). With
+	// this seed, refinement usually stabilizes in a handful of rounds.
+	bfs := func(adjs [][]adj, root int) []int {
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = n // unreachable
+		}
+		dist[root] = 0
+		queue := []int{root}
+		for qi := 0; qi < len(queue); qi++ {
+			s := queue[qi]
+			for _, a := range adjs[s] {
+				if dist[a.peer] == n {
+					dist[a.peer] = dist[s] + 1
+					queue = append(queue, a.peer)
+				}
+			}
+		}
+		return dist
+	}
+	dStart := bfs(fwd, m.start)
+	dFinal := bfs(rin, m.final)
+	seed := make([]uint64, n)
+	for s := 0; s < n; s++ {
+		var flags uint64
+		if s == m.start {
+			flags |= 1
+		}
+		if s == m.final {
+			flags |= 2
+		}
+		seed[s] = flags<<62 | uint64(dStart[s])<<31 | uint64(dFinal[s])
+	}
+	ranked := append([]uint64(nil), seed...)
+	slices.Sort(ranked)
+	ranked = slices.Compact(ranked)
+	colors := make([]int, n)
+	for s := 0; s < n; s++ {
+		c, _ := slices.BinarySearch(ranked, seed[s])
+		colors[s] = c
+	}
+
+	// A state's signature for one round: its own color, then the sorted
+	// (dimension, neighbor color) multisets over outgoing and incoming
+	// transitions, packed big-endian so byte comparison is numeric
+	// comparison. New colors are signature ranks in sorted order — a
+	// content-determined assignment, identical across isomorphic machines.
+	sigs := make([]string, n)
+	var out, in []uint64
+	var buf []byte
+	distinct := len(ranked) // any round can only refine the seed partition
+	for round := 0; round < n; round++ {
+		for s := 0; s < n; s++ {
+			out, in = out[:0], in[:0]
+			for _, a := range fwd[s] {
+				out = append(out, a.dim<<32|uint64(uint32(colors[a.peer])))
+			}
+			for _, a := range rin[s] {
+				in = append(in, a.dim<<32|uint64(uint32(colors[a.peer])))
+			}
+			slices.Sort(out)
+			slices.Sort(in)
+			buf = buf[:0]
+			buf = binary.BigEndian.AppendUint32(buf, uint32(colors[s]))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(out)))
+			for _, v := range out {
+				buf = binary.BigEndian.AppendUint64(buf, v)
+			}
+			for _, v := range in {
+				buf = binary.BigEndian.AppendUint64(buf, v)
+			}
+			sigs[s] = string(buf)
+		}
+		uniq := append([]string(nil), sigs...)
+		sort.Strings(uniq)
+		uniq = dedupeSortedStrings(uniq)
+		ids := make(map[string]int, len(uniq))
+		for i, sig := range uniq {
+			ids[sig] = i
+		}
+		for s := range colors {
+			colors[s] = ids[sigs[s]]
+		}
+		if len(uniq) == distinct {
+			break
+		}
+		distinct = len(uniq)
+	}
+	return colors
+}
+
+// canonicalOrder returns the canonical numbering as order[newID] = oldID: a
+// BFS from start whose successor visit order is (edge dimension, target
+// color), followed by any states unreachable along forward transitions,
+// sorted by color.
+func (m *NFA) canonicalOrder(colors []int, dims map[CharSet]uint64) []int {
+	n := m.NumStates()
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	push := func(s int) {
+		if !seen[s] {
+			seen[s] = true
+			order = append(order, s)
+		}
+	}
+	push(m.start)
+	for qi := 0; qi < len(order); qi++ {
+		s := order[qi]
+		type succ struct {
+			dim   uint64
+			color int
+			to    int
+		}
+		succs := make([]succ, 0, len(m.edges[s])+len(m.eps[s]))
+		for _, e := range m.edges[s] {
+			succs = append(succs, succ{dims[e.Label], colors[e.To], e.To})
+		}
+		for _, e := range m.eps[s] {
+			succs = append(succs, succ{epsDim(e.Tag), colors[e.To], e.To})
+		}
+		slices.SortFunc(succs, func(a, b succ) int {
+			if a.dim != b.dim {
+				if a.dim < b.dim {
+					return -1
+				}
+				return 1
+			}
+			if a.color != b.color {
+				return a.color - b.color
+			}
+			return a.to - b.to
+		})
+		for _, su := range succs {
+			push(su.to)
+		}
+	}
+	// States with no forward path from start (possible in hand-built
+	// machines) come last, grouped by color; the original-id tie-break is
+	// arbitrary but deterministic for a fixed input machine.
+	rest := make([]int, 0)
+	for s := 0; s < n; s++ {
+		if !seen[s] {
+			rest = append(rest, s)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if colors[rest[i]] != colors[rest[j]] {
+			return colors[rest[i]] < colors[rest[j]]
+		}
+		return rest[i] < rest[j]
+	})
+	return append(order, rest...)
+}
+
+func dedupeSortedStrings(a []string) []string {
+	out := a[:0]
+	for i, s := range a {
+		if i == 0 || s != a[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package nfa
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// permuted rebuilds m with states renumbered by perm (perm[old] = new) and
+// per-state edge lists reversed, scrambling both the numbering and the
+// insertion order that Canonicalize must normalize away.
+func permuted(m *NFA, perm []int) *NFA {
+	b := NewBuilder()
+	b.AddStates(m.NumStates())
+	for s := 0; s < m.NumStates(); s++ {
+		edges := m.EdgesFrom(s)
+		for i := len(edges) - 1; i >= 0; i-- {
+			b.AddEdge(perm[s], edges[i].Label, perm[edges[i].To])
+		}
+		eps := m.EpsFrom(s)
+		for i := len(eps) - 1; i >= 0; i-- {
+			if eps[i].Tag == NoTag {
+				b.AddEps(perm[s], perm[eps[i].To])
+			} else {
+				b.AddTaggedEps(perm[s], perm[eps[i].To], eps[i].Tag)
+			}
+		}
+	}
+	return b.Build(perm[m.Start()], perm[m.Final()])
+}
+
+// TestCanonicalKeyRenumberInvariant is the core soundness-and-stability
+// property: scrambling state ids and edge order must not change the key.
+func TestCanonicalKeyRenumberInvariant(t *testing.T) {
+	machines := []*NFA{
+		buildPipelineMachine(),
+		Literal("nid_"),
+		AnyString(),
+		ConcatTagged(Literal("x"), Star(Class(Range('a', 'z'))), 3),
+	}
+	for mi, m := range machines {
+		want := m.CanonicalKey()
+		n := m.NumStates()
+		for seed := int64(0); seed < 8; seed++ {
+			perm := rand.New(rand.NewSource(seed)).Perm(n)
+			got := permuted(m, perm).CanonicalKey()
+			if got != want {
+				t.Fatalf("machine %d, seed %d: canonical key changed under renumbering:\n--- original ---\n%s\n--- permuted ---\n%s",
+					mi, seed, want, got)
+			}
+		}
+		// Rotation, a structured permutation distinct from the shuffles.
+		rot := make([]int, n)
+		for i := range rot {
+			rot[i] = (i + 1) % n
+		}
+		if got := permuted(m, rot).CanonicalKey(); got != want {
+			t.Fatalf("machine %d: canonical key changed under rotation", mi)
+		}
+	}
+}
+
+// TestCanonicalKeyDistinguishes: structurally different machines must get
+// different keys — labels, seam tags, and start/final placement all count.
+func TestCanonicalKeyDistinguishes(t *testing.T) {
+	pairs := []struct {
+		name string
+		a, b *NFA
+	}{
+		{"labels", Literal("ab"), Literal("ac")},
+		{"length", Literal("ab"), Literal("abc")},
+		{"tags", ConcatTagged(Literal("a"), Literal("b"), 1), ConcatTagged(Literal("a"), Literal("b"), 2)},
+		{"tag-vs-plain", ConcatTagged(Literal("a"), Literal("b"), 1), Concat(Literal("a"), Literal("b"))},
+		{"empty-vs-eps", Empty(), Epsilon()},
+	}
+	for _, p := range pairs {
+		if p.a.CanonicalKey() == p.b.CanonicalKey() {
+			t.Errorf("%s: distinct machines share a canonical key", p.name)
+		}
+	}
+}
+
+// TestCanonicalizePreservesMachine: the canonical form is the same machine —
+// same language, same state count, same seam tags.
+func TestCanonicalizePreservesMachine(t *testing.T) {
+	m := buildPipelineMachine()
+	c := m.Canonicalize()
+	if c.NumStates() != m.NumStates() {
+		t.Fatalf("state count changed: %d → %d", m.NumStates(), c.NumStates())
+	}
+	mustAccept(t, c, "abc", "ab", "abcc", "abe")
+	mustReject(t, c, "", "a", "abd")
+	if got, want := len(c.Tags()), len(m.Tags()); got != want {
+		t.Fatalf("seam tags changed: %d → %d", want, got)
+	}
+	// Canonicalization is idempotent: the canonical form of the canonical
+	// form is byte-identical, so keys can be recomputed from stored forms.
+	if c.CanonicalKey() != m.CanonicalKey() {
+		t.Fatal("canonicalization is not idempotent")
+	}
+}
+
+// TestCanonicalKeyStableAcrossRuns extends the serialize-determinism
+// regression: rebuilding the pipeline machine from scratch must reproduce
+// the canonical key bit-for-bit, run after run.
+func TestCanonicalKeyStableAcrossRuns(t *testing.T) {
+	want := buildPipelineMachine().CanonicalKey()
+	if want == "" {
+		t.Fatal("empty canonical key")
+	}
+	for i := 1; i < 20; i++ {
+		if got := buildPipelineMachine().CanonicalKey(); got != want {
+			t.Fatalf("run %d canonical key differs:\n--- run 0 ---\n%s\n--- run %d ---\n%s", i, want, i, got)
+		}
+	}
+}
+
+// TestCanonicalKeyGOMAXPROCSInvariant pins the key against scheduler
+// parallelism: construction and canonicalization must be sequential and
+// deterministic regardless of GOMAXPROCS.
+func TestCanonicalKeyGOMAXPROCSInvariant(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	k1 := buildPipelineMachine().CanonicalKey()
+	runtime.GOMAXPROCS(4)
+	k4 := buildPipelineMachine().CanonicalKey()
+	if k1 != k4 {
+		t.Fatalf("canonical key depends on GOMAXPROCS:\n--- 1 ---\n%s\n--- 4 ---\n%s", k1, k4)
+	}
+}
+
+// TestCanonicalKeyRoundTrip: the key is itself a valid wire-format machine,
+// and parsing it back yields the same key.
+func TestCanonicalKeyRoundTrip(t *testing.T) {
+	key := buildPipelineMachine().CanonicalKey()
+	m, err := Unmarshal(key)
+	if err != nil {
+		t.Fatalf("canonical key is not a valid serialization: %v", err)
+	}
+	if got := m.CanonicalKey(); got != key {
+		t.Fatalf("canonical key changed across a round trip:\n--- before ---\n%s\n--- after ---\n%s", key, got)
+	}
+}

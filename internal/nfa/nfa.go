@@ -1,6 +1,9 @@
 package nfa
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // NoTag marks an ordinary (unlabelled) ε-transition.
 const NoTag = -1
@@ -30,6 +33,12 @@ type NFA struct {
 	eps   [][]EpsEdge // eps[s] = ε-transitions out of s
 	start int
 	final int
+
+	// canon memoizes CanonicalKey. Sound because machines are immutable
+	// once built; atomic because interned machines are shared across
+	// concurrently-running solves. Every constructor builds a fresh NFA
+	// literal, so derived machines (Copy, WithStart, …) start unmemoized.
+	canon atomic.Pointer[string]
 }
 
 // NumStates returns the number of states in the machine.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -24,45 +25,78 @@ const serializeHeader = "dprle-nfa 1"
 
 // WriteTo serializes the machine in the dprle-nfa text format.
 func (m *NFA) WriteTo(w io.Writer) (int64, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n", serializeHeader)
-	fmt.Fprintf(&b, "states %d start %d final %d\n", m.NumStates(), m.start, m.final)
-	for s := 0; s < m.NumStates(); s++ {
-		for _, e := range m.edges[s] {
-			fmt.Fprintf(&b, "edge %d %d %s\n", s, e.To, rangesText(e.Label))
-		}
-		for _, e := range m.eps[s] {
-			if e.Tag == NoTag {
-				fmt.Fprintf(&b, "eps %d %d\n", s, e.To)
-			} else {
-				fmt.Fprintf(&b, "eps %d %d %d\n", s, e.To, e.Tag)
-			}
-		}
-	}
-	b.WriteString("end\n")
-	n, err := io.WriteString(w, b.String())
+	n, err := w.Write(m.appendWire(make([]byte, 0, 64+32*m.NumStates())))
 	return int64(n), err
 }
 
 // Marshal returns the machine serialized as a string.
 func (m *NFA) Marshal() string {
-	var b strings.Builder
-	if _, err := m.WriteTo(&b); err != nil {
-		//lint:ignore dprlelint/panicguard strings.Builder writes never return an error
-		panic("nfa: Marshal to strings.Builder cannot fail: " + err.Error())
+	return string(m.appendWire(make([]byte, 0, 64+32*m.NumStates())))
+}
+
+// appendWire appends the wire-format serialization to b. Serialization sits
+// on the canonical-key path, consulted once per cache probe of a fresh
+// machine, so it is written with integer appends rather than fmt.
+func (m *NFA) appendWire(b []byte) []byte {
+	b = append(b, serializeHeader...)
+	b = append(b, "\nstates "...)
+	b = strconv.AppendInt(b, int64(m.NumStates()), 10)
+	b = append(b, " start "...)
+	b = strconv.AppendInt(b, int64(m.start), 10)
+	b = append(b, " final "...)
+	b = strconv.AppendInt(b, int64(m.final), 10)
+	b = append(b, '\n')
+	for s := 0; s < m.NumStates(); s++ {
+		for _, e := range m.edges[s] {
+			b = append(b, "edge "...)
+			b = strconv.AppendInt(b, int64(s), 10)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, int64(e.To), 10)
+			b = append(b, ' ')
+			b = appendRangesText(b, e.Label)
+			b = append(b, '\n')
+		}
+		for _, e := range m.eps[s] {
+			b = append(b, "eps "...)
+			b = strconv.AppendInt(b, int64(s), 10)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, int64(e.To), 10)
+			if e.Tag != NoTag {
+				b = append(b, ' ')
+				b = strconv.AppendInt(b, int64(e.Tag), 10)
+			}
+			b = append(b, '\n')
+		}
 	}
-	return b.String()
+	return append(b, "end\n"...)
 }
 
 func rangesText(set CharSet) string {
-	var b strings.Builder
-	for i, r := range set.ranges() {
-		if i > 0 {
-			b.WriteByte(',')
+	return string(appendRangesText(make([]byte, 0, 32), set))
+}
+
+// appendRangesText appends the maximal contiguous [lo,hi] runs of the set
+// as "lo-hi[,lo-hi…]" in decimal.
+func appendRangesText(b []byte, set CharSet) []byte {
+	first := true
+	for c := 0; c < 256; {
+		if !set.Contains(byte(c)) {
+			c++
+			continue
 		}
-		fmt.Fprintf(&b, "%d-%d", r[0], r[1])
+		lo := c
+		for c < 256 && set.Contains(byte(c)) {
+			c++
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = strconv.AppendInt(b, int64(lo), 10)
+		b = append(b, '-')
+		b = strconv.AppendInt(b, int64(c-1), 10)
 	}
-	return b.String()
+	return b
 }
 
 // ReadFrom deserializes a machine written by WriteTo.

@@ -1,0 +1,248 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// postRaw posts body and returns the full response (caller closes Body).
+func postRaw(t *testing.T, url, contentType, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/solve", contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	return resp
+}
+
+// decodeInto decodes and closes a response body.
+func decodeInto(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+}
+
+func TestCacheHitHeaderAndBody(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	var first, second SolveResponse
+	r1 := postRaw(t, ts.URL, "text/plain", satSource)
+	if got := r1.Header.Get(CacheHeader); got != CacheMiss {
+		t.Errorf("first request %s = %q, want %q", CacheHeader, got, CacheMiss)
+	}
+	decodeInto(t, r1, &first)
+
+	r2 := postRaw(t, ts.URL, "text/plain", satSource)
+	if got := r2.Header.Get(CacheHeader); got != CacheHit {
+		t.Errorf("second request %s = %q, want %q", CacheHeader, got, CacheHit)
+	}
+	decodeInto(t, r2, &second)
+
+	if first.Status != StatusSat || second.Status != StatusSat {
+		t.Fatalf("statuses = %q/%q, want sat/sat", first.Status, second.Status)
+	}
+	// The hit replays the memoized body verbatim.
+	b1, _ := json.Marshal(first)
+	b2, _ := json.Marshal(second)
+	if string(b1) != string(b2) {
+		t.Errorf("cached response differs from original:\n%s\n%s", b1, b2)
+	}
+	if hits, misses := s.stats.cacheHits.Load(), s.stats.cacheMisses.Load(); hits != 1 || misses != 1 {
+		t.Errorf("cacheHits/cacheMisses = %d/%d, want 1/1", hits, misses)
+	}
+	// Only one solve ran: the hit did not bump the sat counter.
+	if got := s.stats.sat.Load(); got != 1 {
+		t.Errorf("sat = %d, want 1 (the hit must not re-solve)", got)
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// Same system, different options: distinct cache keys, both solve.
+	for _, body := range []string{
+		fmt.Sprintf(`{"system": %q}`, satSource),
+		fmt.Sprintf(`{"system": %q, "options": {"max_solutions": 1}}`, satSource),
+	} {
+		resp := postRaw(t, ts.URL, "application/json", body)
+		if got := resp.Header.Get(CacheHeader); got != CacheMiss {
+			t.Errorf("request %q: %s = %q, want miss", body, CacheHeader, got)
+		}
+		resp.Body.Close()
+	}
+	if got := s.stats.cacheHits.Load(); got != 0 {
+		t.Errorf("cacheHits = %d, want 0 (different options must not alias)", got)
+	}
+}
+
+func TestCacheNeverStoresDegradedResponse(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxStates: 3000})
+	for i := 0; i < 2; i++ {
+		var sr SolveResponse
+		resp := postRaw(t, ts.URL, "text/plain", bombSource)
+		if got := resp.Header.Get(CacheHeader); got != CacheMiss {
+			t.Errorf("request %d: %s = %q, want miss (degraded answers are uncacheable)", i, CacheHeader, got)
+		}
+		decodeInto(t, resp, &sr)
+		if sr.Degraded == nil {
+			t.Fatalf("request %d: bomb did not degrade under a 3000-state cap", i)
+		}
+	}
+	if got := s.stats.cacheHits.Load(); got != 0 {
+		t.Errorf("cacheHits = %d, want 0", got)
+	}
+	if got := s.stats.exhausted.Load(); got != 2 {
+		t.Errorf("exhausted = %d, want 2 (both requests must really solve)", got)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheEntries: -1})
+	for i := 0; i < 2; i++ {
+		resp := postRaw(t, ts.URL, "text/plain", satSource)
+		if got := resp.Header.Get(CacheHeader); got != CacheMiss {
+			t.Errorf("request %d: %s = %q, want miss (cache disabled, flight still keyed)", i, CacheHeader, got)
+		}
+		resp.Body.Close()
+	}
+	if got := s.stats.sat.Load(); got != 2 {
+		t.Errorf("sat = %d, want 2 (every request solves when caching is off)", got)
+	}
+	if got := s.stats.cacheHits.Load(); got != 0 {
+		t.Errorf("cacheHits = %d, want 0", got)
+	}
+}
+
+func TestNoCollapseAndNoCacheOmitsHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheEntries: -1, NoCollapse: true})
+	resp := postRaw(t, ts.URL, "text/plain", satSource)
+	defer resp.Body.Close()
+	if got := resp.Header.Get(CacheHeader); got != "" {
+		t.Errorf("%s = %q with caching and collapsing both off, want absent", CacheHeader, got)
+	}
+}
+
+// TestCollapseSharesOneSolve admits a slow leader, then fires identical
+// requests while it is in flight: they must all collapse onto the
+// leader's solve — one solve for the whole burst.
+func TestCollapseSharesOneSolve(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 32})
+
+	body := fmt.Sprintf(`{"system": %q, "options": {"timeout_ms": 700}}`, bombSource)
+	type result struct {
+		how    string
+		status int
+	}
+	results := make(chan result, 8)
+	var wg sync.WaitGroup
+	post := func() {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Errorf("request: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		var sr SolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Errorf("decoding: %v", err)
+			return
+		}
+		results <- result{resp.Header.Get(CacheHeader), resp.StatusCode}
+	}
+
+	wg.Add(1)
+	go post()
+	// Wait for the leader to be admitted, then pile on duplicates while
+	// its ~700ms bomb solve is still running.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never admitted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i := 0; i < 7; i++ {
+		wg.Add(1)
+		go post()
+	}
+	wg.Wait()
+	close(results)
+
+	var miss, collapsed int
+	for r := range results {
+		if r.status != http.StatusOK {
+			t.Errorf("status = %d, want 200", r.status)
+		}
+		switch r.how {
+		case CacheMiss:
+			miss++
+		case CacheCollapsed:
+			collapsed++
+		default:
+			t.Errorf("%s = %q, want miss or collapsed", CacheHeader, r.how)
+		}
+	}
+	if miss != 1 || collapsed != 7 {
+		t.Errorf("miss/collapsed = %d/%d, want 1/7", miss, collapsed)
+	}
+	if got := s.stats.collapsed.Load(); got != 7 {
+		t.Errorf("collapsed counter = %d, want 7", got)
+	}
+	// The whole burst consumed exactly one solve.
+	if got := s.stats.exhausted.Load(); got != 1 {
+		t.Errorf("exhausted = %d, want 1 (followers must not re-solve the bomb)", got)
+	}
+}
+
+func TestNoCollapseSolvesEveryRequest(t *testing.T) {
+	// Degraded answers are never cached, so with collapsing off every
+	// concurrent duplicate runs its own bomb solve.
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 32, NoCollapse: true})
+	body := fmt.Sprintf(`{"system": %q, "options": {"timeout_ms": 300}}`, bombSource)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("request: %v", err)
+				return
+			}
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+	if got := s.stats.collapsed.Load(); got != 0 {
+		t.Errorf("collapsed = %d with NoCollapse, want 0", got)
+	}
+	if got := s.stats.exhausted.Load(); got != 4 {
+		t.Errorf("exhausted = %d, want 4 (each duplicate solves on its own)", got)
+	}
+}
+
+func TestStatuszReportsCacheStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postSolve(t, ts, "text/plain", satSource, nil)
+	postSolve(t, ts, "text/plain", satSource, nil)
+
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatusResponse
+	decodeInto(t, resp, &st)
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("CacheHits/CacheMisses = %d/%d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+	if st.Cache.Entries == 0 || st.Cache.Bytes == 0 {
+		t.Errorf("Cache snapshot = %+v, want non-empty after a memoized solve", st.Cache)
+	}
+}

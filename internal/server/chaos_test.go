@@ -28,7 +28,7 @@ func TestChaosFaultSweep(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	const burst = 8
-	for _, point := range faultinject.Points() {
+	for pi, point := range faultinject.Points() {
 		t.Run(string(point), func(t *testing.T) {
 			disarm := faultinject.Arm(point, 1)
 			defer disarm()
@@ -41,9 +41,15 @@ func TestChaosFaultSweep(t *testing.T) {
 			var wg sync.WaitGroup
 			for i := 0; i < burst; i++ {
 				wg.Add(1)
-				go func() {
+				go func(i int) {
 					defer wg.Done()
-					resp, err := http.Post(ts.URL+"/solve", "text/plain", strings.NewReader(satSource))
+					// Each request gets a structurally unique constant, so
+					// neither the response cache nor the solver's
+					// rename-invariant component cache nor request
+					// collapsing can merge them: all 8 really solve, and
+					// the armed fault hits exactly one.
+					src := fmt.Sprintf("const c := re /a{%d}b{%d}/;\nv1 . v2 <= c;\n", pi+1, i+1)
+					resp, err := http.Post(ts.URL+"/solve", "text/plain", strings.NewReader(src))
 					if err != nil {
 						t.Errorf("request failed outright (the fault escaped the server): %v", err)
 						return
@@ -55,7 +61,7 @@ func TestChaosFaultSweep(t *testing.T) {
 						return
 					}
 					replies <- reply{resp.StatusCode, raw}
-				}()
+				}(i)
 			}
 			wg.Wait()
 			close(replies)

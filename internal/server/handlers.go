@@ -14,6 +14,7 @@ import (
 
 	"dprle/internal/budget"
 	"dprle/internal/core"
+	"dprle/internal/solvecache"
 	"dprle/internal/textio"
 )
 
@@ -48,6 +49,59 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Cache, then collapse: a hit answers without touching the pool; a
+	// concurrent duplicate shares the in-flight leader's answer.
+	key := ""
+	if s.cache != nil || s.flight != nil {
+		key = requestKey(req)
+	}
+	if s.cache != nil {
+		if v, ok := s.cache.Get(key); ok {
+			s.stats.cacheHits.Add(1)
+			writeCached(w, v.(*cachedResponse), CacheHit)
+			return
+		}
+		s.stats.cacheMisses.Add(1)
+	}
+	var call *solvecache.Call
+	leader := true
+	if s.flight != nil {
+		call, leader = s.flight.Join(key)
+	}
+	if !leader {
+		s.collapse(w, r, req, call)
+		return
+	}
+	// This request leads its flight: every exit below must resolve the
+	// call, or followers would hang until their own deadlines.
+	finished := false
+	finish := func(out *cachedResponse) {
+		if finished || s.flight == nil {
+			return
+		}
+		finished = true
+		if out == nil {
+			s.flight.Finish(key, call, nil, errLeaderGone)
+			return
+		}
+		s.flight.Finish(key, call, out, nil)
+	}
+	defer func() { finish(nil) }()
+	how := CacheMiss
+	if key == "" {
+		how = ""
+	}
+	// answer renders once, memoizes complete 200s, wakes followers, and
+	// writes — the single exit for every answered leader path.
+	answer := func(status int, body any) {
+		out := &cachedResponse{status: status, body: marshalBody(body)}
+		if s.cache != nil && cacheable(status, body) {
+			s.cache.Put(key, out, int64(len(out.body)+len(key)))
+		}
+		finish(out)
+		writeCached(w, out, how)
+	}
+
 	// Admit: count in-flight first, then re-check the drain state so a
 	// Drain that raced us either sees our wg.Add or we see its state flip.
 	s.wg.Add(1)
@@ -60,7 +114,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining() {
 		release()
-		s.writeDraining(w)
+		answer(http.StatusServiceUnavailable, drainingBody())
 		return
 	}
 
@@ -77,12 +131,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err := s.pool.submit(t); err != nil {
 		release()
 		if errors.Is(err, errPoolClosed) {
-			s.writeDraining(w)
+			answer(http.StatusServiceUnavailable, drainingBody())
 			return
 		}
 		s.stats.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, &ErrorResponse{
+		answer(http.StatusTooManyRequests, &ErrorResponse{
 			Error:             "solver queue is full; retry with backoff",
 			Code:              CodeQueueFull,
 			RetryAfterSeconds: 1,
@@ -92,12 +145,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case out := <-t.done:
-		writeJSON(w, out.status, out.body)
+		answer(out.status, out.body)
 	case <-ctx.Done():
 		if r.Context().Err() != nil {
 			// Client disconnected: nothing to write. The worker observes
 			// the dead context (skipping the solve, or unwinding it at the
 			// next budget checkpoint) and releases the in-flight count.
+			// The deferred finish(nil) tells any followers the solve died.
 			s.stats.canceled.Add(1)
 			return
 		}
@@ -107,13 +161,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			// verified partial result arrives shortly. Prefer it over a
 			// generic timeout answer.
 			out := <-t.done
-			writeJSON(w, out.status, out.body)
+			answer(out.status, out.body)
 			return
 		}
 		// Deadline passed while still queued: answer now; the worker will
 		// skip the task when it reaches it.
 		s.stats.unknown.Add(1)
-		writeJSON(w, http.StatusOK, &SolveResponse{
+		answer(http.StatusOK, &SolveResponse{
 			Status:   StatusUnknown,
 			Usage:    Usage{Exhausted: true},
 			Degraded: &Degraded{Kind: "deadline", Stage: "server.queue"},
@@ -133,6 +187,7 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) (int, any) {
 		Minimize:     req.Options.Minimize,
 		RawConstants: req.Options.RawConstants,
 		NoMaximalize: req.Options.NoMaximalize,
+		Cache:        s.cache,
 		Limits: budget.Limits{
 			MaxStates: clampLimit(req.Options.MaxStates, s.cfg.MaxStates),
 			MaxSteps:  clampLimit(req.Options.MaxSteps, s.cfg.MaxSteps),
@@ -239,16 +294,24 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Panics:        s.stats.panics.Load(),
 		ParseErrors:   s.stats.parseErrors.Load(),
 		Canceled:      s.stats.canceled.Load(),
+		CacheHits:     s.stats.cacheHits.Load(),
+		CacheMisses:   s.stats.cacheMisses.Load(),
+		Collapsed:     s.stats.collapsed.Load(),
+		Cache:         s.cache.Stats(),
 	})
+}
+
+func drainingBody() *ErrorResponse {
+	return &ErrorResponse{
+		Error:             "server is draining",
+		Code:              CodeDraining,
+		RetryAfterSeconds: 1,
+	}
 }
 
 func (s *Server) writeDraining(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", "1")
-	writeJSON(w, http.StatusServiceUnavailable, &ErrorResponse{
-		Error:             "server is draining",
-		Code:              CodeDraining,
-		RetryAfterSeconds: 1,
-	})
+	writeJSON(w, http.StatusServiceUnavailable, drainingBody())
 }
 
 // requestTimeout resolves the per-request deadline: the client's ask,

@@ -231,8 +231,11 @@ func TestHTTPLoadShedding(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// A unique comment per request keeps collapsing out of the
+			// picture (identical bodies would share one solve and never
+			// overflow the queue — that dedup is tested elsewhere).
 			body, _ := json.Marshal(&SolveRequest{
-				System:  bombSource,
+				System:  fmt.Sprintf("# req %d\n%s", i, bombSource),
 				Options: RequestOptions{TimeoutMS: 400},
 			})
 			resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(string(body)))

@@ -21,6 +21,11 @@
 //   - Graceful drain: Drain stops admission (readyz turns 503, new solves
 //     get 503 + Retry-After), finishes in-flight requests within a
 //     bounded timeout, then stops the workers.
+//   - Caching and collapsing: complete (never degraded) responses are
+//     memoized in a bounded solve cache also shared with the solver's
+//     per-component memoization, and concurrent identical requests
+//     collapse onto one solve. Every /solve response carries an
+//     X-Dprle-Cache: hit|miss|collapsed header. See DESIGN.md §10.
 //
 // Endpoints: POST /solve, GET /healthz, GET /readyz, GET /statusz.
 package server
@@ -32,6 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dprle/internal/solvecache"
 )
 
 // Config is the server policy. The zero value of each field selects the
@@ -60,6 +67,17 @@ type Config struct {
 	// DrainTimeout is the default bound for Run's drain on SIGTERM; Drain
 	// callers pass their own context. Default: 10s.
 	DrainTimeout time.Duration
+	// CacheEntries bounds the solve cache (shared between whole-response
+	// memoization and the solver's per-component cache). 0 selects the
+	// solvecache default (4096 entries); negative disables caching
+	// entirely. See DESIGN.md §10.
+	CacheEntries int
+	// CacheBytes bounds the accounted size of the solve cache. 0 selects
+	// the solvecache default (64 MiB). Ignored when caching is disabled.
+	CacheBytes int64
+	// NoCollapse disables request collapsing: concurrent identical
+	// requests each get their own solve instead of sharing one.
+	NoCollapse bool
 	// Logf receives incident reports (recovered panic stacks). Default:
 	// discard; cmd/dprled wires it to its stderr logger.
 	Logf func(format string, args ...any)
@@ -127,10 +145,17 @@ func stateName(s int32) string {
 // Server is one dprled instance. Create it with New; it is ready to serve
 // as soon as its Handler is mounted.
 type Server struct {
-	cfg   Config
-	pool  *pool
-	mux   *http.ServeMux
-	state atomic.Int32
+	cfg  Config
+	pool *pool
+	mux  *http.ServeMux
+	// cache memoizes complete (never degraded) solve responses and is
+	// shared into core.Options.Cache so workers also reuse per-component
+	// solutions across requests. nil when Config.CacheEntries < 0.
+	cache *solvecache.Cache
+	// flight collapses concurrent identical requests onto one solve. nil
+	// when Config.NoCollapse.
+	flight *solvecache.Flight
+	state  atomic.Int32
 	// inflight counts admitted requests (queued or solving) for /statusz;
 	// wg tracks the same population for Drain.
 	inflight atomic.Int64
@@ -147,12 +172,26 @@ type Server struct {
 		panics      atomic.Int64
 		parseErrors atomic.Int64
 		canceled    atomic.Int64
+		// cacheHits/cacheMisses count response-cache outcomes;
+		// collapsed counts requests that shared another request's solve.
+		cacheHits   atomic.Int64
+		cacheMisses atomic.Int64
+		collapsed   atomic.Int64
 	}
 }
 
 // New builds a Server with the given policy and starts its worker pool.
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg.withDefaults(), start: time.Now()}
+	if s.cfg.CacheEntries >= 0 {
+		s.cache = solvecache.New(solvecache.Config{
+			MaxEntries: s.cfg.CacheEntries,
+			MaxBytes:   s.cfg.CacheBytes,
+		})
+	}
+	if !s.cfg.NoCollapse {
+		s.flight = solvecache.NewFlight()
+	}
 	s.pool = newPool(s.cfg.Workers, s.cfg.QueueDepth, s.recordPanic)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
@@ -167,6 +206,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Config reports the effective (defaulted) policy.
 func (s *Server) Config() Config { return s.cfg }
+
+// CacheStats snapshots the shared solve cache's counters (zero when
+// caching is disabled).
+func (s *Server) CacheStats() solvecache.Stats { return s.cache.Stats() }
 
 // recordPanic is the pool's fault sink: it counts the incident and logs
 // the stack under the incident ID the client received.

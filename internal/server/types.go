@@ -1,5 +1,7 @@
 package server
 
+import "dprle/internal/solvecache"
+
 // Wire types of the dprled HTTP/JSON protocol. Every response body is one
 // of SolveResponse (the solve ran, possibly degraded), ErrorResponse (the
 // request was rejected or failed), or StatusResponse (/statusz).
@@ -110,4 +112,13 @@ type StatusResponse struct {
 	Panics      int64 `json:"panics"`
 	ParseErrors int64 `json:"parse_errors"`
 	Canceled    int64 `json:"canceled"`
+
+	// CacheHits/CacheMisses count response-cache lookups; Collapsed
+	// counts requests that shared another request's in-flight solve.
+	// Cache snapshots the shared solve cache (response bodies plus the
+	// solver's per-component entries).
+	CacheHits   int64            `json:"cache_hits"`
+	CacheMisses int64            `json:"cache_misses"`
+	Collapsed   int64            `json:"collapsed"`
+	Cache       solvecache.Stats `json:"cache"`
 }
