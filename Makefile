@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos lint fix fmt cover bench bench-cache
+.PHONY: all build test race chaos lint lint-stats fix fmt cover bench bench-cache
 
 all: build lint test
 
@@ -21,10 +21,17 @@ chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Pool|Drain|Shed|Disconnect|Collapse' ./internal/server/ ./cmd/dprled/
 
 # Static analysis: go vet plus the repo-specific invariant suite
-# (DESIGN.md §7). Both exit non-zero on findings, failing the build.
+# (DESIGN.md §7), including the interprocedural layer (locksafe, nilness
+# N3, budgetflow F3). Both exit non-zero on findings, failing the build.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dprlelint ./...
+
+# lint plus per-analyzer statistics (finding counts, wall time, and the
+# conservative-skip counters), bounded at 120s to catch summary-fixpoint
+# blowup (the `lint` CI job's lint-stats step).
+lint-stats:
+	timeout 120 $(GO) run ./cmd/dprlelint -stats ./...
 
 # Apply dprlelint's suggested fixes (sorted-map-iteration rewrites).
 fix:

@@ -9,6 +9,8 @@
 //	dprlelint -fix ./...                  # apply suggested fixes in place
 //	dprlelint -list                       # the suite, one line each
 //	dprlelint -help nilness               # full docs for one analyzer
+//	dprlelint -stats ./...                # per-analyzer counts and wall time
+//	dprlelint -interproc=false ./...      # intraprocedural analyses only
 //
 // Findings are reported in a single global order — file, line, column,
 // analyzer — across all packages and analyzers, so -json and CI output
@@ -29,9 +31,11 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"dprle/internal/analysis"
 	"dprle/internal/analyzers"
+	"dprle/internal/analyzers/interproc"
 )
 
 func main() {
@@ -46,13 +50,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fix := fs.Bool("fix", false, "apply suggested fixes to the source files")
 	list := fs.Bool("list", false, "list available analyzers with a one-line summary and exit")
 	help := fs.String("help", "", "print the full documentation for one analyzer and exit")
+	ip := fs.Bool("interproc", true, "enable the summary-based interprocedural layer (locksafe, nilness N3, budgetflow F3)")
+	stats := fs.Bool("stats", false, "print per-analyzer statistics (findings, wall time, counters) after the findings")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: dprlelint [-json] [-fix] [-only name,...] [-list] [-help name] packages...\n")
+		fmt.Fprintf(stderr, "usage: dprlelint [-json] [-fix] [-only name,...] [-interproc=bool] [-stats] [-list] [-help name] packages...\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	interproc.Enabled = *ip
 
 	suite := analyzers.All()
 	if *help != "" {
@@ -124,16 +131,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var all []analysis.Finding
+	merged := map[string]analysis.AnalyzerStats{}
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "dprlelint: %v\n", err)
 			return 2
 		}
-		findings, err := analysis.Run(pkg, loader.Fset, suite)
+		findings, pkgStats, err := analysis.RunStats(pkg, loader.Fset, suite)
 		if err != nil {
 			fmt.Fprintf(stderr, "dprlelint: %v\n", err)
 			return 2
+		}
+		for name, st := range pkgStats {
+			m := merged[name]
+			m.Merge(st)
+			merged[name] = m
 		}
 		if *fix && len(findings) > 0 {
 			fixed, err := analysis.ApplyFixes(loader.Fset, pkg.Sources, findings)
@@ -175,10 +188,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, f)
 		}
 	}
+	if *stats {
+		printStats(stderr, suite, merged)
+	}
 	if len(all) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// printStats renders the merged per-analyzer statistics as a table, in
+// suite order. It writes to stderr so that stdout (findings, -json) stays
+// byte-stable: wall times vary run to run.
+func printStats(w io.Writer, suite []*analysis.Analyzer, merged map[string]analysis.AnalyzerStats) {
+	width := len("analyzer")
+	for _, a := range suite {
+		if len(a.Name) > width {
+			width = len(a.Name)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %8s  %10s  counters\n", width, "analyzer", "findings", "wall")
+	var total analysis.AnalyzerStats
+	for _, a := range suite {
+		st := merged[a.Name]
+		total.Merge(st)
+		keys := make([]string, 0, len(st.Counters))
+		for k := range st.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, st.Counters[k]))
+		}
+		counters := "-"
+		if len(parts) > 0 {
+			counters = strings.Join(parts, " ")
+		}
+		fmt.Fprintf(w, "%-*s  %8d  %10s  %s\n", width, a.Name, st.Findings, st.Wall.Round(time.Microsecond), counters)
+	}
+	fmt.Fprintf(w, "%-*s  %8d  %10s\n", width, "total", total.Findings, total.Wall.Round(time.Microsecond))
 }
 
 func findModuleRoot() (string, error) {

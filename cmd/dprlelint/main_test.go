@@ -9,6 +9,7 @@ import (
 
 	"dprle/internal/analysis"
 	"dprle/internal/analyzers"
+	"dprle/internal/analyzers/interproc"
 )
 
 // repoRoot locates the module root from this test file's position, so the
@@ -141,6 +142,82 @@ func TestSeededNilDerefFails(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("expected a nilness finding for the seeded nil dereference, got %v", findings)
+	}
+}
+
+// TestJSONDeterminism is the byte-stability gate for the interprocedural
+// suite: two full -json runs over the module must produce identical bytes.
+// Call-graph SCC order, summary fixpoints, and lockset iteration all use
+// maps internally; any map order leaking into findings shows up here as a
+// diff between the two runs.
+func TestJSONDeterminism(t *testing.T) {
+	runOnce := func() string {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-json", "./..."}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("-json ./... exited %d, stderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
+		}
+		return stdout.String()
+	}
+	first := runOnce()
+	second := runOnce()
+	if first != second {
+		t.Errorf("two -json runs differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestStatsFlag pins -stats: one row per analyzer plus a total, on stderr,
+// with the interprocedural skip counter surfaced.
+func TestStatsFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-stats", "./internal/solvecache"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-stats exited %d, stderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
+	}
+	out := stderr.String()
+	for _, a := range analyzers.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-stats output lacks analyzer %s:\n%s", a.Name, out)
+		}
+	}
+	for _, want := range []string{"analyzer", "findings", "wall", "total", "dynamic-calls-skipped="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestInterprocFlag pins the escape hatch: with -interproc=false the
+// seeded cross-function nil flow in testdata/src/regress is invisible
+// (N3 needs summaries), and with the default it is reported.
+func TestInterprocFlag(t *testing.T) {
+	loader := analysis.NewSourceLoader(filepath.Join("testdata", "src"))
+	findingsWith := func(enabled bool) []analysis.Finding {
+		t.Helper()
+		defer func(prev bool) { interproc.Enabled = prev }(interproc.Enabled)
+		interproc.Enabled = enabled
+		pkg, err := loader.Load("regress")
+		if err != nil {
+			t.Fatal(err)
+		}
+		findings, err := analysis.Run(pkg, loader.Fset, analyzers.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return findings
+	}
+	hasN3 := func(fs []analysis.Finding) bool {
+		for _, f := range fs {
+			if f.Analyzer == "nilness" && strings.Contains(f.Message, "panic one call deep") {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasN3(findingsWith(true)) {
+		t.Error("interproc on: expected an N3 finding for the seeded cross-function nil flow")
+	}
+	if hasN3(findingsWith(false)) {
+		t.Error("interproc off: N3 finding reported without summaries")
 	}
 }
 

@@ -22,3 +22,18 @@ func CloneMachine(m *nfa.NFA) nfa.NFA {
 	}
 	return *m // clean: m is non-nil on this path
 }
+
+type machine struct{ states int }
+
+// stateCount dereferences its parameter unconditionally; its summary is
+// what makes the seeded call below visible to interprocedural nilness.
+func stateCount(m *machine) int {
+	return m.states
+}
+
+// CountStates seeds the cross-function nil flow N3 exists to catch: the
+// nil literal panics one call deep, inside stateCount, which only the
+// summary-based layer can see.
+func CountStates() int {
+	return stateCount(nil) // interprocedural nilness must flag this line
+}

@@ -39,10 +39,22 @@ type Pass struct {
 	Sources map[string][]byte
 
 	report func(Diagnostic)
+	stats  map[string]int
 }
 
 // Report records a diagnostic against the package under analysis.
 func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// CountStat accumulates a named counter for this analyzer run — the channel
+// through which analyzers surface the size of their deliberate
+// approximations (e.g. call sites skipped for dynamic dispatch). The driver
+// aggregates counters across packages and prints them under -stats.
+func (p *Pass) CountStat(name string, delta int) {
+	if p.stats == nil {
+		p.stats = map[string]int{}
+	}
+	p.stats[name] += delta
+}
 
 // Reportf is a convenience wrapper for Report.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {

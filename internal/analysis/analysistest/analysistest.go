@@ -47,6 +47,102 @@ func RunWithSuggestedFixes(t *testing.T, dir string, a *analysis.Analyzer, paths
 	}
 }
 
+// RunFixRoundTrip verifies that an analyzer's suggested fixes actually
+// discharge its findings: it copies the fixture tree into a temporary
+// directory, applies every suggested fix there, re-runs the analyzer on the
+// rewritten packages, and asserts that zero findings remain and that every
+// rewritten file is gofmt-clean. The fixture packages must therefore be
+// fully fixable — every finding carries a fix.
+func RunFixRoundTrip(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	tmp := filepath.Join(t.TempDir(), "src")
+	copyGoTree(t, filepath.Join(dir, "src"), tmp)
+
+	loader := analysis.NewSourceLoader(tmp)
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture copy %s: %v", path, err)
+		}
+		findings, err := analysis.Run(pkg, loader.Fset, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		if len(findings) == 0 {
+			t.Errorf("round-trip on %s is vacuous: no findings before fixing", path)
+			continue
+		}
+		fixed, err := analysis.ApplyFixes(loader.Fset, pkg.Sources, findings)
+		if err != nil {
+			t.Fatalf("applying fixes for %s: %v", path, err)
+		}
+		if len(fixed) == 0 {
+			t.Errorf("round-trip on %s is vacuous: findings carry no fixes", path)
+			continue
+		}
+		for name, content := range fixed {
+			if err := os.WriteFile(name, content, 0o644); err != nil {
+				t.Fatalf("writing fixed %s: %v", name, err)
+			}
+		}
+	}
+
+	// A fresh loader over the rewritten tree: the fixes must have discharged
+	// every finding, and the rewritten files must already be gofmt-clean.
+	reloader := analysis.NewSourceLoader(tmp)
+	for _, path := range paths {
+		pkg, err := reloader.Load(path)
+		if err != nil {
+			t.Fatalf("reloading fixed %s: %v", path, err)
+		}
+		findings, err := analysis.Run(pkg, reloader.Fset, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("re-running %s on fixed %s: %v", a.Name, path, err)
+		}
+		for _, f := range findings {
+			t.Errorf("finding survives its own fix in %s: %s", path, f)
+		}
+		for name, src := range pkg.Sources {
+			formatted, err := format.Source(src)
+			if err != nil {
+				t.Fatalf("fixed %s does not parse: %v", name, err)
+			}
+			if string(formatted) != string(src) {
+				t.Errorf("fixed %s is not gofmt-clean", name)
+			}
+		}
+	}
+}
+
+// copyGoTree mirrors the .go files under src into dst, preserving the
+// package layout; golden files and other artifacts are left behind.
+func copyGoTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if filepath.Ext(p) != ".go" {
+			return nil
+		}
+		content, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), content, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying fixture tree: %v", err)
+	}
+}
+
 func runOne(t *testing.T, dir string, a *analysis.Analyzer, path string, fixes bool) {
 	t.Helper()
 	loader := analysis.NewSourceLoader(filepath.Join(dir, "src"))

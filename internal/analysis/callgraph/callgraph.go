@@ -1,0 +1,420 @@
+// Package callgraph builds a package-local call graph over the ASTs the
+// analysis loader produced, and drives bottom-up (callee-before-caller)
+// summary computation over it (see summaries.go).
+//
+// The graph is deliberately scoped to one package: dprlelint analyzes
+// packages independently, so edges point only at functions declared in the
+// package under analysis. Calls that leave the package, go through an
+// interface method, or flow through a function value the builder cannot
+// resolve are recorded as unresolved call sites — the conservative
+// direction for every client (no summary means no assumption). Each
+// unresolved-for-dynamic-dispatch site is counted so drivers can surface
+// the approximation under -stats.
+//
+// Resolution rules, in order:
+//
+//   - direct calls to package-level functions and methods declared in this
+//     package, including method expressions (T.M, (*T).M), resolve via the
+//     type-checker;
+//   - an immediately invoked function literal (func(){...}()) resolves to
+//     that literal's own node;
+//   - a call through a local variable that is bound to exactly one function
+//     literal in the enclosing function and never reassigned, captured, or
+//     address-taken resolves to that literal (the sort.Slice-less comparator
+//     idiom); anything fancier is dynamic;
+//   - go and defer statements produce edges like plain calls, tagged with
+//     their mode, because the callee's effects still happen (just later or
+//     concurrently).
+//
+// Calls to declared-but-bodyless functions (assembly, external linkname)
+// and to other packages resolve to no node; their *types.Func is still
+// recorded on the site so clients can apply seed facts.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Mode distinguishes how a call site transfers control.
+type Mode uint8
+
+const (
+	Call  Mode = iota // ordinary expression call
+	Go                // go statement
+	Defer             // defer statement
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Go:
+		return "go"
+	case Defer:
+		return "defer"
+	}
+	return "call"
+}
+
+// A Site is one call expression inside a node's body.
+type Site struct {
+	Call *ast.CallExpr
+	Mode Mode
+	// Callee is the in-package node invoked, nil when the call leaves the
+	// package or cannot be resolved statically.
+	Callee *Node
+	// Fn is the static *types.Func the call invokes, when the type-checker
+	// can name one (set for external callees too); nil for calls through
+	// function values and builtins.
+	Fn *types.Func
+	// Dynamic marks a call the builder gave up on: through a function
+	// value it could not pin to one literal, or an interface method.
+	// Dynamic sites have Callee == nil; interface calls keep Fn (the
+	// interface method) for clients that want to report it.
+	Dynamic bool
+}
+
+// A Node is one function body in the package: a declared function or
+// method, or a function literal.
+type Node struct {
+	ID int
+	// Fn is the declared function object; nil for literals.
+	Fn *types.Func
+	// Decl / Lit: exactly one is non-nil.
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	// Parent is the node lexically enclosing a literal (nil for decls).
+	Parent *Node
+	Sites  []Site
+	// scc is filled by condense (index into Graph.SCCs).
+	scc int
+}
+
+// Body returns the node's function body.
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Type returns the node's signature.
+func (n *Node) Type() *types.Signature {
+	if n.Fn != nil {
+		return n.Fn.Type().(*types.Signature)
+	}
+	return nil
+}
+
+// Name renders a stable human-readable name for diagnostics:
+// "pkg.Func", "(pkg.T).Method", or "pkg.Func$lit" for literals.
+func (n *Node) Name() string {
+	if n.Fn != nil {
+		if recv := n.Fn.Type().(*types.Signature).Recv(); recv != nil {
+			return "(" + types.TypeString(recv.Type(), types.RelativeTo(n.Fn.Pkg())) + ")." + n.Fn.Name()
+		}
+		return n.Fn.Name()
+	}
+	if n.Parent != nil {
+		return n.Parent.Name() + "$lit"
+	}
+	return "$lit"
+}
+
+// Pos returns the node's source position.
+func (n *Node) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// A Graph is the package-local call graph.
+type Graph struct {
+	Nodes []*Node
+	// ByFunc maps declared functions/methods to their nodes.
+	ByFunc map[*types.Func]*Node
+	// SCCs are the strongly connected components of the static-call
+	// relation, in reverse topological order: every edge leaving SCCs[i]
+	// lands in some SCCs[j] with j < i, so iterating SCCs front to back
+	// visits callees before callers.
+	SCCs [][]*Node
+	// DynamicSkips counts call sites conservatively left unresolved
+	// because they dispatch through an interface method or an unpinnable
+	// function value — the approximation -stats reports.
+	DynamicSkips int
+}
+
+// Build constructs the call graph of one package from its files and type
+// information. Nodes are created in source order (file order as given,
+// declaration order within a file, literals in lexical order), so IDs — and
+// everything derived from them — are deterministic.
+func Build(info *types.Info, files []*ast.File) *Graph {
+	g := &Graph{ByFunc: map[*types.Func]*Node{}}
+	litNodes := map[*ast.FuncLit]*Node{}
+
+	// Pass 1: create nodes for every body, so calls can resolve forward.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				node := &Node{ID: len(g.Nodes), Decl: n}
+				if fn, ok := info.Defs[n.Name].(*types.Func); ok {
+					node.Fn = fn
+					g.ByFunc[fn] = node
+				}
+				g.Nodes = append(g.Nodes, node)
+			case *ast.FuncLit:
+				node := &Node{ID: len(g.Nodes), Lit: n}
+				litNodes[n] = node
+				g.Nodes = append(g.Nodes, node)
+			}
+			return true
+		})
+	}
+
+	// Pass 2: wire parents and resolve call sites.
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			owner := g.nodeForDecl(fd)
+			b := &bodyWalker{g: g, info: info, lits: litNodes}
+			b.walkOwner(owner, fd.Body)
+		}
+	}
+	condense(g)
+	return g
+}
+
+func (g *Graph) nodeForDecl(fd *ast.FuncDecl) *Node {
+	for _, n := range g.Nodes {
+		if n.Decl == fd {
+			return n
+		}
+	}
+	return nil
+}
+
+type bodyWalker struct {
+	g    *Graph
+	info *types.Info
+	lits map[*ast.FuncLit]*Node
+}
+
+// walkOwner collects the call sites of owner's body, descending into nested
+// literals with the literal's node as the new owner.
+func (b *bodyWalker) walkOwner(owner *Node, body *ast.BlockStmt) {
+	binds := literalBindings(b.info, body)
+	var walk func(n ast.Node, mode Mode)
+	walk = func(n ast.Node, mode Mode) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				lit := b.lits[m]
+				lit.Parent = owner
+				b.walkOwner(lit, m.Body)
+				return false
+			case *ast.GoStmt:
+				b.addSite(owner, m.Call, Go, binds)
+				walk(m.Call.Fun, Go)
+				for _, a := range m.Call.Args {
+					walk(a, Call)
+				}
+				return false
+			case *ast.DeferStmt:
+				b.addSite(owner, m.Call, Defer, binds)
+				walk(m.Call.Fun, Defer)
+				for _, a := range m.Call.Args {
+					walk(a, Call)
+				}
+				return false
+			case *ast.CallExpr:
+				b.addSite(owner, m, mode, binds)
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, Call)
+}
+
+// addSite resolves one call expression and appends the site to owner.
+// Sites for go/defer record the mode of the statement that owns them;
+// nested calls inside arguments are ordinary calls.
+func (b *bodyWalker) addSite(owner *Node, call *ast.CallExpr, mode Mode, binds map[*types.Var]*ast.FuncLit) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions and builtins are not calls for our purposes.
+	if tv, ok := b.info.Types[fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return
+	}
+
+	site := Site{Call: call, Mode: mode}
+	switch fun := fun.(type) {
+	case *ast.FuncLit:
+		// Immediately invoked literal.
+		site.Callee = b.lits[fun]
+	case *ast.Ident:
+		switch obj := b.info.Uses[fun].(type) {
+		case *types.Func:
+			site.Fn = obj
+			site.Callee = b.g.ByFunc[obj]
+		case *types.Var:
+			// A call through a local bound to exactly one literal.
+			if lit, ok := binds[obj]; ok {
+				site.Callee = b.lits[lit]
+			} else {
+				site.Dynamic = true
+				b.g.DynamicSkips++
+			}
+		default:
+			site.Dynamic = true
+			b.g.DynamicSkips++
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := b.info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				site.Fn = fn
+				if types.IsInterface(recvType(fn)) {
+					// Interface dispatch: keep Fn for seed facts, but the
+					// concrete callee is unknowable package-locally.
+					site.Dynamic = true
+					b.g.DynamicSkips++
+				} else {
+					site.Callee = b.g.ByFunc[fn]
+				}
+			} else {
+				// Struct field of function type, etc.
+				site.Dynamic = true
+				b.g.DynamicSkips++
+			}
+		} else if fn, ok := b.info.Uses[fun.Sel].(*types.Func); ok {
+			// Package-qualified call or method expression.
+			site.Fn = fn
+			site.Callee = b.g.ByFunc[fn]
+		} else {
+			site.Dynamic = true
+			b.g.DynamicSkips++
+		}
+	default:
+		// Call of a call's result, index expression, etc.
+		site.Dynamic = true
+		b.g.DynamicSkips++
+	}
+	owner.Sites = append(owner.Sites, site)
+}
+
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// literalBindings finds local variables that are provably bound to one
+// specific function literal throughout body: defined once with the literal
+// as initializer, never reassigned, never address-taken, and never used as
+// a value other than being called. Calls through such a variable resolve to
+// the literal; anything else stays dynamic.
+func literalBindings(info *types.Info, body *ast.BlockStmt) map[*types.Var]*ast.FuncLit {
+	cand := map[*types.Var]*ast.FuncLit{}
+	dead := map[*types.Var]bool{}
+	kill := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				dead[v] = true
+			} else if v, ok := info.Defs[id].(*types.Var); ok {
+				dead[v] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, isDef := info.Defs[id].(*types.Var)
+				if isDef && n.Tok == token.DEFINE && i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+					if lit, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit); ok {
+						if _, seen := cand[v]; !seen {
+							cand[v] = lit
+							continue
+						}
+					}
+					dead[v] = true
+					continue
+				}
+				kill(lhs) // plain reassignment
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				kill(n.X)
+			}
+		case *ast.FuncLit:
+			// A variable used inside a nested literal may be called after
+			// arbitrary reassignment interleavings; give it up.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					kill(id)
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	// A binding used as a value (passed, stored, returned) could be invoked
+	// anywhere; only direct calls keep it resolvable.
+	out := map[*types.Var]*ast.FuncLit{}
+	for v, lit := range cand {
+		if dead[v] {
+			continue
+		}
+		if onlyCalled(info, body, v) {
+			out[v] = lit
+		}
+	}
+	return out
+}
+
+// onlyCalled reports whether every use of v in body is as the function
+// operand of a call expression (its defining occurrence aside).
+func onlyCalled(info *types.Info, body *ast.BlockStmt, v *types.Var) bool {
+	ok := true
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if !ok {
+				return false
+			}
+			if call, isCall := m.(*ast.CallExpr); isCall {
+				// The Fun position is a permitted use; check args and
+				// subexpressions of Fun that are not the bare ident.
+				if id, isID := ast.Unparen(call.Fun).(*ast.Ident); isID && info.Uses[id] == v {
+					for _, a := range call.Args {
+						walk(a)
+					}
+					return false
+				}
+				return true
+			}
+			if id, isID := m.(*ast.Ident); isID && info.Uses[id] == v {
+				ok = false
+				return false
+			}
+			return true
+		})
+	}
+	walk(body)
+	return ok
+}

@@ -1,0 +1,99 @@
+package callgraph
+
+import "sort"
+
+// condense computes the strongly connected components of the static call
+// relation with Tarjan's algorithm (iterative, so deep call chains cannot
+// overflow the goroutine stack) and stores them on the graph in reverse
+// topological order: Tarjan emits an SCC only once every SCC it can reach
+// has been emitted, so SCCs[i] calls only into SCCs[j], j < i — exactly the
+// bottom-up order summary computation wants.
+//
+// Only resolved in-package edges (Site.Callee != nil) participate; dynamic
+// and external sites impose no ordering. Determinism follows from node IDs:
+// roots are tried in ID order and edges in recorded source order.
+func condense(g *Graph) {
+	n := len(g.Nodes)
+	index := make([]int, n) // 0 = unvisited; otherwise discovery index + 1
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	var stack []int
+	next := 1
+
+	type frame struct {
+		v    int
+		edge int // next Sites index to follow
+	}
+
+	for root := 0; root < n; root++ {
+		if index[root] != 0 {
+			continue
+		}
+		work := []frame{{v: root}}
+		index[root], lowlink[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			advanced := false
+			sites := g.Nodes[v].Sites
+			for f.edge < len(sites) {
+				e := f.edge
+				f.edge++
+				callee := sites[e].Callee
+				if callee == nil {
+					continue
+				}
+				w := callee.ID
+				if index[w] == 0 {
+					index[w], lowlink[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if lowlink[v] == index[v] {
+				var scc []*Node
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					g.Nodes[w].scc = len(g.SCCs)
+					scc = append(scc, g.Nodes[w])
+					if w == v {
+						break
+					}
+				}
+				// Within an SCC, order by ID for stable iteration.
+				sort.Slice(scc, func(i, j int) bool { return scc[i].ID < scc[j].ID })
+				g.SCCs = append(g.SCCs, scc)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+		}
+	}
+}
+
+// SCCOf returns the index (into Graph.SCCs) of the component containing n.
+func (g *Graph) SCCOf(n *Node) int { return n.scc }
+
+// SameSCC reports whether two nodes are mutually recursive.
+func (g *Graph) SameSCC(a, b *Node) bool { return a.scc == b.scc }

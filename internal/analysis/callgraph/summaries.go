@@ -1,0 +1,85 @@
+package callgraph
+
+import "fmt"
+
+// A Summarizer computes one caller-visible summary per graph node. The
+// driver (Summaries) calls Summarize bottom-up — every resolved callee
+// outside the node's own SCC is summarized first — and iterates mutually
+// recursive nodes to a fixpoint.
+//
+// The summary type must form a join-semilattice of fixed height: Bottom is
+// the starting element (the summary of a function about which nothing is
+// known yet), and Summarize must be monotone — given rising callee
+// summaries it returns a rising result. Height bounds the longest strictly
+// rising chain, which caps fixpoint iteration within an SCC; like the
+// dataflow solver, the driver enforces the bound explicitly and fails loudly
+// (ErrSummaryDiverged) instead of spinning on a broken implementation.
+type Summarizer interface {
+	// Bottom is the initial summary every node starts from.
+	Bottom() Summary
+	// Summarize computes n's summary. get returns the current summary of
+	// any graph node (bottom for nodes not yet visited — only possible for
+	// same-SCC nodes mid-iteration); implementations look up their callees
+	// through it rather than recursing.
+	Summarize(n *Node, get func(*Node) Summary) Summary
+	// Equal reports whether two summaries are the same lattice element.
+	Equal(a, b Summary) bool
+	// Height is an upper bound on the longest strictly rising summary
+	// chain of one node.
+	Height() int
+}
+
+// A Summary is one node's caller-visible abstraction; opaque to the driver.
+type Summary interface{}
+
+// ErrSummaryDiverged is returned when an SCC fails to reach a fixpoint
+// within the declared lattice height — a non-monotone Summarize or an
+// underestimated Height.
+var ErrSummaryDiverged = fmt.Errorf("callgraph: summary fixpoint exceeded lattice height (non-monotone Summarize or wrong Height)")
+
+// Summaries runs s over the whole graph bottom-up and returns the summary
+// of every node, indexed by Node.ID. Singleton SCCs without self-calls are
+// summarized exactly once; cyclic SCCs iterate round-robin (members in ID
+// order) until no member's summary changes, bounded by |scc| * (Height+2)
+// recomputations.
+func Summaries(g *Graph, s Summarizer) ([]Summary, error) {
+	out := make([]Summary, len(g.Nodes))
+	for i := range out {
+		out[i] = s.Bottom()
+	}
+	get := func(n *Node) Summary { return out[n.ID] }
+
+	for _, scc := range g.SCCs {
+		if len(scc) == 1 && !callsSelf(scc[0]) {
+			out[scc[0].ID] = s.Summarize(scc[0], get)
+			continue
+		}
+		bound := len(scc) * (s.Height() + 2)
+		for round := 0; ; round++ {
+			if round > bound {
+				return nil, ErrSummaryDiverged
+			}
+			changed := false
+			for _, n := range scc {
+				next := s.Summarize(n, get)
+				if !s.Equal(next, out[n.ID]) {
+					out[n.ID] = next
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func callsSelf(n *Node) bool {
+	for _, site := range n.Sites {
+		if site.Callee == n {
+			return true
+		}
+	}
+	return false
+}

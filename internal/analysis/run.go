@@ -6,6 +6,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // A Finding is a Diagnostic resolved to concrete file positions and tagged
@@ -24,12 +25,41 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (dprlelint/%s)", f.Pos, f.Message, f.Analyzer)
 }
 
+// AnalyzerStats aggregates one analyzer's bookkeeping across packages:
+// surviving findings, wall time, and any approximation counters the
+// analyzer recorded through Pass.CountStat.
+type AnalyzerStats struct {
+	Findings int
+	Wall     time.Duration
+	Counters map[string]int
+}
+
+// Merge folds another stats record into s.
+func (s *AnalyzerStats) Merge(o AnalyzerStats) {
+	s.Findings += o.Findings
+	s.Wall += o.Wall
+	for k, v := range o.Counters {
+		if s.Counters == nil {
+			s.Counters = map[string]int{}
+		}
+		s.Counters[k] += v
+	}
+}
+
 // Run applies each analyzer to the package and returns the surviving
 // findings, sorted by position. Diagnostics suppressed by a
 // //lint:ignore dprlelint/<name> directive (see ignores) are dropped.
 func Run(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Finding, error) {
+	out, _, err := RunStats(pkg, fset, analyzers)
+	return out, err
+}
+
+// RunStats is Run plus per-analyzer statistics (findings, wall time,
+// CountStat counters), keyed by analyzer name.
+func RunStats(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Finding, map[string]AnalyzerStats, error) {
 	ign := collectIgnores(pkg, fset)
 	var out []Finding
+	stats := map[string]AnalyzerStats{}
 	for _, a := range analyzers {
 		var diags []Diagnostic
 		pass := &Pass{
@@ -41,9 +71,11 @@ func Run(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Finding, e
 			Sources:   pkg.Sources,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
+		begin := time.Now()
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			return nil, nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 		}
+		st := AnalyzerStats{Wall: time.Since(begin), Counters: pass.stats}
 		for _, d := range diags {
 			pos := fset.Position(d.Pos)
 			if ign.suppressed(a.Name, pos) {
@@ -54,10 +86,12 @@ func Run(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Finding, e
 				f.End = fset.Position(d.End)
 			}
 			out = append(out, f)
+			st.Findings++
 		}
+		stats[a.Name] = st
 	}
 	SortFindings(out)
-	return out, nil
+	return out, stats, nil
 }
 
 // SortFindings orders findings by file, line, column, then analyzer name —

@@ -11,6 +11,7 @@ import (
 	"dprle/internal/analyzers/budgetflow"
 	"dprle/internal/analyzers/cachekey"
 	"dprle/internal/analyzers/ctxbudget"
+	"dprle/internal/analyzers/locksafe"
 	"dprle/internal/analyzers/mapiterorder"
 	"dprle/internal/analyzers/nilness"
 	"dprle/internal/analyzers/panicguard"
@@ -24,6 +25,7 @@ func All() []*analysis.Analyzer {
 		budgetflow.Analyzer,
 		cachekey.Analyzer,
 		ctxbudget.Analyzer,
+		locksafe.Analyzer,
 		mapiterorder.Analyzer,
 		nilness.Analyzer,
 		panicguard.Analyzer,

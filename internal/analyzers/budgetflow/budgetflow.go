@@ -15,6 +15,7 @@ import (
 
 	"dprle/internal/analysis"
 	"dprle/internal/analysis/dataflow"
+	"dprle/internal/analyzers/interproc"
 	"dprle/internal/analyzers/lintutil"
 	"dprle/internal/analyzers/nilfacts"
 )
@@ -38,11 +39,25 @@ F2 — a call to an un-budgeted construction that has a *B sibling, on a
 path where a budget in scope may be live. This is budgetcheck's R1 made
 path-sensitive: the degradation branch (budget provably nil) is exempt.
 
+F3 (interprocedural, disable with -interproc=false) — a nil budget handed
+to a same-package function whose summary threads that parameter into
+budgeted work (a *B variant or a budget checkpoint, possibly several calls
+deep): the accounting chain is severed at this call boundary even though a
+live budget is in scope. Summaries come from internal/analyzers/interproc.
+
 Suppress with //lint:ignore dprlelint/budgetflow <reason>.`,
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
+	var ip *interproc.Info
+	if interproc.Enabled {
+		info, err := interproc.Of(pass)
+		if err != nil {
+			return err
+		}
+		ip = info
+	}
 	for _, file := range pass.Files {
 		var err error
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -52,10 +67,10 @@ func run(pass *analysis.Pass) error {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					err = checkFunc(pass, fn, fn.Body)
+					err = checkFunc(pass, ip, fn, fn.Body)
 				}
 			case *ast.FuncLit:
-				err = checkFunc(pass, fn, fn.Body)
+				err = checkFunc(pass, ip, fn, fn.Body)
 			}
 			return true
 		})
@@ -66,7 +81,7 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) error {
+func checkFunc(pass *analysis.Pass, ip *interproc.Info, fn ast.Node, body *ast.BlockStmt) error {
 	tracked := nilfacts.TrackedVars(pass.TypesInfo, fn, body, lintutil.IsBudgetPtr)
 	if len(tracked) == 0 {
 		return nil
@@ -79,12 +94,12 @@ func checkFunc(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) error {
 	}
 	reported := map[ast.Node]bool{}
 	dataflow.WalkForward(g, lat, lat, res, func(n ast.Node, before dataflow.Fact) {
-		checkNode(pass, lat, n, before.(*nilfacts.Facts), reported)
+		checkNode(pass, ip, lat, n, before.(*nilfacts.Facts), reported)
 	})
 	return nil
 }
 
-func checkNode(pass *analysis.Pass, lat *nilfacts.Lattice, n ast.Node, f *nilfacts.Facts, reported map[ast.Node]bool) {
+func checkNode(pass *analysis.Pass, ip *interproc.Info, lat *nilfacts.Lattice, n ast.Node, f *nilfacts.Facts, reported map[ast.Node]bool) {
 	if rng, ok := n.(*ast.RangeStmt); ok {
 		n = rng.X
 	}
@@ -120,6 +135,27 @@ func checkNode(pass *analysis.Pass, lat *nilfacts.Lattice, n ast.Node, f *nilfac
 			pass.Reportf(call.Pos(),
 				"un-budgeted %s reached on a path where %s may be live; use %s and pass %s",
 				callee.Name(), live.Name(), sib.Name(), live.Name())
+		default:
+			// F3: nil handed to a summary-known budget-threading callee.
+			if ip == nil {
+				break
+			}
+			sum, ok := ip.ForFunc(callee)
+			if !ok {
+				break
+			}
+			for j, arg := range call.Args {
+				if j >= len(sum.BudgetParams) || !sum.BudgetParams[j] {
+					continue
+				}
+				if lat.Eval(arg, f) == nilfacts.Nil {
+					reported[call] = true
+					pass.Reportf(call.Pos(),
+						"budget dropped at call boundary: %s threads its budget into budgeted work but receives nil here while %s may be live; pass %s",
+						callee.Name(), live.Name(), live.Name())
+					break
+				}
+			}
 		}
 		return true
 	})

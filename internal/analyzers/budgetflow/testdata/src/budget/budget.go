@@ -9,6 +9,13 @@ type Budget struct{ remaining int64 }
 
 func New(n int64) *Budget { return &Budget{remaining: n} }
 
+func (b *Budget) Check(stage string) error {
+	if b == nil {
+		return nil
+	}
+	return b.AddStates(1, stage)
+}
+
 func (b *Budget) AddStates(n int64, stage string) error {
 	if b == nil {
 		return nil

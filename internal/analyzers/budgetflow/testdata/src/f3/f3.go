@@ -1,0 +1,39 @@
+// F3: a nil budget severing the accounting chain at a call boundary.
+package f3
+
+import "budget"
+
+func IntersectB(bud *budget.Budget, n int) (int, error) {
+	if err := bud.Check("intersect"); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// helper threads its budget one level deeper; its summary records the
+// budget parameter even though helper itself is not a *B variant.
+func helper(bud *budget.Budget, n int) (int, error) {
+	return IntersectB(bud, n)
+}
+
+func dropAtBoundary(bud *budget.Budget, n int) int {
+	if bud != nil {
+		v, _ := helper(nil, n) // want `budget dropped at call boundary: helper threads its budget`
+		return v
+	}
+	return n
+}
+
+func threadedOK(bud *budget.Budget, n int) int {
+	v, _ := helper(bud, n)
+	return v
+}
+
+func degradationOK(bud *budget.Budget, n int) int {
+	if bud == nil {
+		v, _ := helper(nil, n) // budget provably absent: clean
+		return v
+	}
+	v, _ := helper(bud, n)
+	return v
+}

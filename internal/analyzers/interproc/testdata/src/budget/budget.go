@@ -1,0 +1,19 @@
+// Package budget is a minimal stand-in for dprle/internal/budget so the
+// interproc fixtures exercise the budget-threading summaries.
+package budget
+
+import "errors"
+
+type Budget struct {
+	steps int64
+}
+
+var ErrExhausted = errors.New("budget exhausted")
+
+func (b *Budget) Check(stage string) error {
+	if b == nil {
+		return nil
+	}
+	b.steps++
+	return nil
+}

@@ -1,0 +1,141 @@
+// Package sum exercises every summary dimension the interproc package
+// computes; the test asserts the summaries directly (no want comments).
+package sum
+
+import (
+	"sync"
+
+	"budget"
+)
+
+type box struct{ v *int }
+
+var global *int
+
+// derefDirect dereferences its parameter unconditionally.
+func derefDirect(p *int) int { return *p }
+
+// derefGuarded is safe for nil callers: the deref is dominated by a check.
+func derefGuarded(p *int) int {
+	if p == nil {
+		return 0
+	}
+	return *p
+}
+
+// derefTransitive panics for nil q via derefDirect.
+func derefTransitive(q *int) int { return derefDirect(q) }
+
+// derefRecursive is mutually recursive with derefRecursive2 and derefs on
+// the base case: the SCC fixpoint must find it.
+func derefRecursive(p *int, n int) int {
+	if n == 0 {
+		return *p
+	}
+	return derefRecursive2(p, n-1)
+}
+
+func derefRecursive2(p *int, n int) int { return derefRecursive(p, n) }
+
+// storesField stores its parameter into a field.
+func storesField(b *box, p *int) { b.v = p }
+
+// storesGlobal stores its parameter into a package-level variable.
+func storesGlobal(p *int) { global = p }
+
+// storesTransitive escapes p through storesField.
+func storesTransitive(b *box, p *int) { storesField(b, p) }
+
+// noStore keeps its parameter local.
+func noStore(p *int) int {
+	if p == nil {
+		return 0
+	}
+	return *p + 1
+}
+
+// DeterminizeB mimics a budgeted variant: *B name, budget first, error last.
+func DeterminizeB(bud *budget.Budget, n int) (int, error) {
+	if err := bud.Check("determinize"); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// threadsBudget passes its budget into budgeted work.
+func threadsBudget(bud *budget.Budget, n int) (int, error) {
+	return DeterminizeB(bud, n)
+}
+
+// threadsBudgetDeep threads through an intermediate helper.
+func threadsBudgetDeep(bud *budget.Budget, n int) (int, error) {
+	return threadsBudget(bud, n)
+}
+
+// ignoresBudget takes a budget but never uses it for budgeted work.
+func ignoresBudget(bud *budget.Budget, n int) int { return n }
+
+// blockSend blocks on a channel send.
+func blockSend(ch chan int) { ch <- 1 }
+
+// blockSelectNoDefault blocks in a select without default.
+func blockSelectNoDefault(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// nonBlockingSelect cannot park: every comm has the default escape.
+func nonBlockingSelect(ch chan int) bool {
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// blockTransitive blocks through blockSend.
+func blockTransitive(ch chan int) { blockSend(ch) }
+
+// goDoesNotBlock spawns blocking work but does not block itself.
+func goDoesNotBlock(ch chan int) { go blockSend(ch) }
+
+// blockSeeded calls the seeded budget checkpoint.
+func blockSeeded(bud *budget.Budget) error { return bud.Check("stage") }
+
+type guarded struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+// locksMu acquires the receiver's mutex.
+func (g *guarded) locksMu() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+}
+
+// locksRW read-locks the receiver's RWMutex.
+func (g *guarded) locksRW() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return len(g.data)
+}
+
+// locksTransitive acquires mu through a same-receiver call.
+func (g *guarded) locksTransitive() { g.locksMu() }
+
+var globalMu sync.Mutex
+
+// locksGlobal acquires a package-level mutex.
+func locksGlobal() {
+	globalMu.Lock()
+	defer globalMu.Unlock()
+}
+
+// locksGlobalTransitive acquires it through a call.
+func locksGlobalTransitive() { locksGlobal() }

@@ -1,0 +1,920 @@
+// Package locksafe checks the solver's mutex discipline: locks must not be
+// copied, must be released on every path, must not be re-acquired while
+// held, must not be held across blocking operations, and fields written
+// under a lock somewhere must not be written lock-free elsewhere. The
+// analysis is flow-sensitive (a lockset lattice over the dataflow CFG) and
+// one level interprocedural through the function summaries of
+// internal/analyzers/interproc.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dprle/internal/analysis"
+	"dprle/internal/analysis/dataflow"
+	"dprle/internal/analyzers/interproc"
+	"dprle/internal/analyzers/lintutil"
+)
+
+// StatUnresolvedLocks counts Lock/Unlock sites whose receiver chain could
+// not be resolved to a variable root (map elements, function results, ...).
+// Those sites are skipped conservatively; the count surfaces under -stats.
+const StatUnresolvedLocks = "unresolved-lock-sites"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc: `flag lock-discipline violations around sync.Mutex/RWMutex
+
+Five findings, driven by a lockset dataflow over each function's CFG plus
+the interprocedural summaries (one call level deep):
+
+L1 — a value containing a sync.Mutex or sync.RWMutex is copied: passed,
+returned, or declared by value, or assigned from an existing value. A
+copied lock guards nothing.
+
+L2 — a lock may still be held when the function returns: Lock/RLock with
+no unlock and no deferred unlock on some path to return.
+
+L3 — a second Lock of a mutex already held on this path, directly or
+through a call to a function whose summary acquires the same lock
+(receiver-relative paths are matched through the call's receiver chain).
+RLock-after-RLock is deliberately not flagged.
+
+L4 — a blocking operation while a lock is held: channel send/receive
+outside a select with a default case, a default-less select, ranging over
+a channel, a call to a known-blocking function (budget checkpoints, solver
+entry points, io.ReadAll, ...), or a call whose summary says it may block.
+
+L5 — a write to a struct field that is written under a lock rooted at the
+same receiver elsewhere in the package, reached here on a lock-free path.
+Functions whose name ends in "Locked" (the caller-holds-the-lock idiom)
+and writes through freshly constructed locals are exempt.
+
+go statements and deferred calls are excluded from lock tracking (the
+spawned goroutine has its own lockset; deferred work runs at return) —
+deferred unlocks are modeled, of course. Lock sites whose receiver cannot
+be resolved to a variable root are skipped and counted under -stats.
+
+Suppress with //lint:ignore dprlelint/locksafe <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, info: pass.TypesInfo}
+	if interproc.Enabled {
+		ip, err := interproc.Of(pass)
+		if err != nil {
+			return err
+		}
+		c.ip = ip
+	}
+	for _, file := range pass.Files {
+		c.copyChecks(file)
+	}
+	var err error
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if err != nil {
+				return false
+			}
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					err = c.checkFunc(fn.Name.Name, fn.Body)
+				}
+			case *ast.FuncLit:
+				err = c.checkFunc("", fn.Body)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	c.reportGuardedWrites()
+	return nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	info   *types.Info
+	ip     *interproc.Info
+	writes []fieldWrite
+}
+
+// ---------------------------------------------------------------------------
+// Lockset lattice
+
+// A lockKey names one mutex: a root variable (receiver, local, parameter,
+// or package-level) plus the dotted field path from it to the lock. The
+// empty path means the variable itself is (or embeds) the mutex.
+type lockKey struct {
+	v    *types.Var
+	path string
+}
+
+func (k lockKey) String() string {
+	if k.path == "" {
+		return k.v.Name()
+	}
+	return k.v.Name() + "." + k.path
+}
+
+// hold is the per-key lattice element. Joins: must is an all-paths
+// property (AND); may and write are some-path (OR); deferred means every
+// path that may hold the lock has a pending deferred unlock, so paths on
+// which the lock was never acquired join vacuously true rather than
+// clearing it (the nil-receiver early-return before Lock/defer Unlock
+// idiom must stay clean). The zero hold means "not held" and is
+// normalized away.
+type hold struct {
+	must     bool // held on every path reaching here
+	may      bool // held on some path
+	write    bool // held in write mode on some path
+	deferred bool // an unlock is deferred on every may-holding path
+}
+
+// safeHold is the per-path "will be released" bit used to join deferred: a
+// path that may hold the lock is safe only with a pending deferred unlock;
+// a path that never acquired it is vacuously safe.
+func safeHold(h hold) bool { return h.deferred || !h.may }
+
+// facts is the lockset fact: nil *facts is bottom (unreachable).
+type facts struct {
+	held map[lockKey]hold
+}
+
+func (f *facts) get(k lockKey) (hold, bool) {
+	if f == nil {
+		return hold{}, false
+	}
+	h, ok := f.held[k]
+	return h, ok
+}
+
+// mustHeld returns the deterministically-first must-held key, if any.
+func (f *facts) mustHeld() (lockKey, bool) {
+	if f == nil {
+		return lockKey{}, false
+	}
+	best, found := lockKey{}, false
+	for k, h := range f.held {
+		if !h.must {
+			continue
+		}
+		if !found || k.String() < best.String() {
+			best, found = k, true
+		}
+	}
+	return best, found
+}
+
+// rootHeld reports whether any lock rooted at base is held (must / may).
+func (f *facts) rootHeld(base *types.Var) (must, may bool) {
+	if f == nil {
+		return false, false
+	}
+	for k, h := range f.held {
+		if k.v == base {
+			must = must || h.must
+			may = may || h.may
+		}
+	}
+	return must, may
+}
+
+func (f *facts) clone() *facts {
+	out := &facts{held: make(map[lockKey]hold, len(f.held))}
+	for k, h := range f.held {
+		out.held[k] = h
+	}
+	return out
+}
+
+// with applies one lock operation, copy-on-write.
+func (f *facts) with(op opKind, k lockKey) *facts {
+	out := f.clone()
+	switch op {
+	case opLock, opRLock:
+		h := out.held[k]
+		h.must, h.may = true, true
+		if op == opLock {
+			h.write = true
+		}
+		out.held[k] = h
+	case opUnlock:
+		delete(out.held, k)
+	case opDeferUnlock:
+		h := out.held[k]
+		h.deferred = true
+		out.held[k] = h
+	}
+	return out
+}
+
+type lattice struct{ height int }
+
+func (l *lattice) Bottom() dataflow.Fact   { return (*facts)(nil) }
+func (l *lattice) Boundary() dataflow.Fact { return &facts{} }
+func (l *lattice) Height() int             { return l.height }
+
+func (l *lattice) Join(a, b dataflow.Fact) dataflow.Fact {
+	x, y := a.(*facts), b.(*facts)
+	if x == nil {
+		return y
+	}
+	if y == nil {
+		return x
+	}
+	out := &facts{held: map[lockKey]hold{}}
+	for k, hx := range x.held {
+		hy := y.held[k] // zero hold when absent, which is vacuously safe
+		j := hold{
+			must:     hx.must && hy.must,
+			may:      hx.may || hy.may,
+			write:    hx.write || hy.write,
+			deferred: safeHold(hx) && safeHold(hy),
+		}
+		if j != (hold{}) {
+			out.held[k] = j
+		}
+	}
+	for k, hy := range y.held {
+		if _, seen := x.held[k]; seen {
+			continue
+		}
+		j := hold{may: hy.may, write: hy.write, deferred: safeHold(hy)}
+		if j != (hold{}) {
+			out.held[k] = j
+		}
+	}
+	return out
+}
+
+func (l *lattice) Equal(a, b dataflow.Fact) bool {
+	x, y := a.(*facts), b.(*facts)
+	if x == nil || y == nil {
+		return x == y
+	}
+	if len(x.held) != len(y.held) {
+		return false
+	}
+	for k, hx := range x.held {
+		if hy, ok := y.held[k]; !ok || hx != hy {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Event walk (shared by transfer and reporting)
+
+type opKind int
+
+const (
+	opLock opKind = iota
+	opRLock
+	opUnlock
+	opDeferUnlock
+)
+
+// selectInfo classifies channel operations by their enclosing select: comm
+// statements of a select with a default case cannot park; a default-less
+// select is itself the blocking construct.
+type selectInfo struct {
+	nonBlocking map[ast.Node]bool
+	blocking    map[ast.Node]*ast.SelectStmt
+}
+
+func scanSelects(body *ast.BlockStmt) *selectInfo {
+	si := &selectInfo{nonBlocking: map[ast.Node]bool{}, blocking: map[ast.Node]*ast.SelectStmt{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if hasDefault {
+				si.nonBlocking[cc.Comm] = true
+			} else {
+				si.blocking[cc.Comm] = sel
+			}
+		}
+		return true
+	})
+	return si
+}
+
+// eventSink receives the lock operations, resolved calls, and blocking
+// constructs of one CFG node, in evaluation order. Any callback may be nil.
+type eventSink struct {
+	lock  func(op opKind, k lockKey, pos token.Pos)
+	call  func(call *ast.CallExpr, fn *types.Func)
+	block func(desc string, pos token.Pos)
+}
+
+// walkEvents enumerates the events of one CFG node. Nested function
+// literals and go statements are skipped entirely; deferred calls
+// contribute only deferred unlocks. A *ast.RangeStmt node stands for its X
+// operand alone (see dataflow.Block).
+func (c *checker) walkEvents(si *selectInfo, n ast.Node, sink eventSink) {
+	emitBlock := func(desc string, pos token.Pos) {
+		if sink.block != nil {
+			sink.block(desc, pos)
+		}
+	}
+	if rng, ok := n.(*ast.RangeStmt); ok {
+		if tv, ok := c.info.Types[rng.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				emitBlock("range over channel", rng.X.Pos())
+			}
+		}
+		n = rng.X
+	}
+	if si.blocking[n] != nil {
+		emitBlock("select without default", si.blocking[n].Pos())
+	}
+	// The comm operation of a select clause is not a free-standing channel
+	// op: with a default it cannot park, without one the select itself was
+	// just reported.
+	commSuppressed := si.nonBlocking[n] || si.blocking[n] != nil
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			c.deferredUnlocks(m, sink)
+			return false
+		case *ast.SendStmt:
+			if !commSuppressed {
+				emitBlock("channel send", m.Pos())
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW && !commSuppressed {
+				emitBlock("channel receive", m.Pos())
+			}
+		case *ast.CallExpr:
+			fn := lintutil.Callee(c.info, m)
+			if fn == nil {
+				return true
+			}
+			if name, ok := interproc.MutexMethod(fn); ok {
+				if base, path, ok := interproc.LockTarget(c.info, m); ok {
+					k := lockKey{base, path}
+					if sink.lock != nil {
+						switch name {
+						case "Lock":
+							sink.lock(opLock, k, m.Pos())
+						case "RLock":
+							sink.lock(opRLock, k, m.Pos())
+						case "Unlock", "RUnlock":
+							sink.lock(opUnlock, k, m.Pos())
+						}
+					}
+				} else {
+					c.pass.CountStat(StatUnresolvedLocks, 1)
+				}
+				return true
+			}
+			if sink.call != nil {
+				sink.call(m, fn)
+			}
+		}
+		return true
+	})
+}
+
+// deferredUnlocks emits opDeferUnlock for `defer mu.Unlock()` and for
+// unlocks inside a deferred function literal.
+func (c *checker) deferredUnlocks(d *ast.DeferStmt, sink eventSink) {
+	if sink.lock == nil {
+		return
+	}
+	emit := func(call *ast.CallExpr) {
+		fn := lintutil.Callee(c.info, call)
+		if fn == nil {
+			return
+		}
+		if name, ok := interproc.MutexMethod(fn); ok && (name == "Unlock" || name == "RUnlock") {
+			if base, path, ok := interproc.LockTarget(c.info, call); ok {
+				sink.lock(opDeferUnlock, lockKey{base, path}, call.Pos())
+			} else {
+				c.pass.CountStat(StatUnresolvedLocks, 1)
+			}
+		}
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok && m != lit {
+				return false
+			}
+			if call, ok := m.(*ast.CallExpr); ok {
+				emit(call)
+			}
+			return true
+		})
+		return
+	}
+	emit(d.Call)
+}
+
+type transfer struct {
+	c  *checker
+	si *selectInfo
+}
+
+func (t *transfer) Node(n ast.Node, f dataflow.Fact) dataflow.Fact {
+	cur := f.(*facts)
+	t.c.walkEvents(t.si, n, eventSink{
+		lock: func(op opKind, k lockKey, _ token.Pos) { cur = cur.with(op, k) },
+	})
+	return cur
+}
+
+func (t *transfer) Branch(_ ast.Expr, _ bool, f dataflow.Fact) dataflow.Fact { return f }
+
+// ---------------------------------------------------------------------------
+// Per-function checking (L2, L3, L4 + write collection for L5)
+
+func (c *checker) checkFunc(name string, body *ast.BlockStmt) error {
+	exempt := strings.HasSuffix(name, "Locked")
+	fresh := freshLocals(c.info, body)
+	si := scanSelects(body)
+	ops, firstLock := c.prescan(si, body)
+	if ops == 0 {
+		// No lock activity: the lockset is empty everywhere, so only the
+		// guarded-write collection (L5 phase) applies.
+		c.collectWritesNoLocks(body, exempt, fresh)
+		return nil
+	}
+
+	lat := &lattice{height: 4*ops + 2}
+	tr := &transfer{c: c, si: si}
+	g := dataflow.New(body)
+	res, err := dataflow.Solve(g, lat, tr, dataflow.Forward)
+	if err != nil {
+		return err
+	}
+
+	reportedSelects := map[token.Pos]bool{}
+	dataflow.WalkForward(g, lat, tr, res, func(n ast.Node, before dataflow.Fact) {
+		cur := before.(*facts)
+		c.recordWriteNode(n, cur, exempt, fresh)
+		c.walkEvents(si, n, eventSink{
+			lock: func(op opKind, k lockKey, pos token.Pos) {
+				c.checkLockOp(op, k, cur, pos)
+				cur = cur.with(op, k)
+			},
+			call: func(call *ast.CallExpr, fn *types.Func) {
+				c.checkCall(call, fn, cur)
+			},
+			block: func(desc string, pos token.Pos) {
+				if desc == "select without default" {
+					if reportedSelects[pos] {
+						return
+					}
+					reportedSelects[pos] = true
+				}
+				if k, held := cur.mustHeld(); held {
+					c.pass.Reportf(pos, "%s while %s is held: blocking operation under lock", desc, k)
+				}
+			},
+		})
+	})
+
+	// L2: locks that may survive to function exit without a deferred unlock.
+	if exitf, ok := res.In[g.Exit].(*facts); ok && exitf != nil {
+		keys := make([]lockKey, 0, len(exitf.held))
+		for k := range exitf.held {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		for _, k := range keys {
+			h := exitf.held[k]
+			if h.may && !h.deferred {
+				pos := firstLock[k]
+				if !pos.IsValid() {
+					pos = body.Pos()
+				}
+				c.pass.Reportf(pos, "%s may still be held at return: missing unlock or defer unlock on some path", k)
+			}
+		}
+	}
+	return nil
+}
+
+// prescan counts mutex operations (bounding the lattice height) and records
+// the first acquisition site of each key (the L2 anchor).
+func (c *checker) prescan(si *selectInfo, body *ast.BlockStmt) (int, map[lockKey]token.Pos) {
+	ops := 0
+	firstLock := map[lockKey]token.Pos{}
+	ast.Inspect(body, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lintutil.Callee(c.info, call)
+		if fn == nil {
+			return true
+		}
+		if name, ok := interproc.MutexMethod(fn); ok {
+			ops++
+			if name == "Lock" || name == "RLock" {
+				if base, path, ok := interproc.LockTarget(c.info, call); ok {
+					k := lockKey{base, path}
+					if _, seen := firstLock[k]; !seen {
+						firstLock[k] = call.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ops, firstLock
+}
+
+// checkLockOp reports L3: re-acquisition of a lock already held on this
+// path. RLock-after-RLock is legal and not flagged.
+func (c *checker) checkLockOp(op opKind, k lockKey, f *facts, pos token.Pos) {
+	h, ok := f.get(k)
+	if !ok {
+		return
+	}
+	switch op {
+	case opLock:
+		if h.must {
+			c.pass.Reportf(pos, "second Lock of %s: already locked on this path (deadlock)", k)
+		}
+	case opRLock:
+		if h.must && h.write {
+			c.pass.Reportf(pos, "RLock of %s while its write lock is held (deadlock)", k)
+		}
+	}
+}
+
+// checkCall reports L3 through one call level (the callee's summary
+// acquires a lock we hold in write mode) and L4 for calls that may block.
+func (c *checker) checkCall(call *ast.CallExpr, fn *types.Func, f *facts) {
+	if reason, ok := interproc.BlockSeed(fn); ok {
+		if k, held := f.mustHeld(); held {
+			c.pass.Reportf(call.Pos(), "%s while %s is held: blocking operation under lock", reason, k)
+		}
+		return
+	}
+	if c.ip == nil {
+		return
+	}
+	sum, ok := c.ip.ForFunc(fn)
+	if !ok {
+		return
+	}
+	var keys []lockKey
+	if len(sum.RecvLocks) > 0 {
+		if base, path, ok := interproc.LockTarget(c.info, call); ok {
+			for _, lp := range sum.RecvLocks {
+				keys = append(keys, lockKey{base, joinPath(path, lp)})
+			}
+		}
+	}
+	for _, gv := range sum.GlobalLocks {
+		keys = append(keys, lockKey{gv, ""})
+	}
+	for _, k := range keys {
+		// Only write-held locks are flagged: the summary does not record
+		// the callee's acquisition mode, and RLock-under-RLock is legal.
+		if h, ok := f.get(k); ok && h.must && h.write {
+			c.pass.Reportf(call.Pos(), "call to %s acquires %s, which is already locked on this path (deadlock)", fn.Name(), k)
+			return
+		}
+	}
+	if sum.MayBlock {
+		if k, held := f.mustHeld(); held {
+			c.pass.Reportf(call.Pos(), "call to %s (%s) while %s is held: blocking operation under lock", fn.Name(), sum.BlockReason, k)
+		}
+	}
+}
+
+func joinPath(prefix, p string) string {
+	if prefix == "" {
+		return p
+	}
+	if p == "" {
+		return prefix
+	}
+	return prefix + "." + p
+}
+
+// ---------------------------------------------------------------------------
+// L5: guarded fields written on lock-free paths
+
+type fieldKey struct {
+	tn   *types.TypeName
+	path string
+}
+
+type fieldWrite struct {
+	key    fieldKey
+	pos    token.Pos
+	must   bool // a lock rooted at the written base is must-held here
+	may    bool // ... may-held
+	exempt bool // "Locked"-suffix function or freshly constructed base
+}
+
+// recordWriteNode collects field writes in one CFG node with the lockset in
+// force, for the package-wide guarded-field phase.
+func (c *checker) recordWriteNode(n ast.Node, f *facts, exempt bool, fresh map[*types.Var]bool) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			c.recordWrite(lhs, f, exempt, fresh)
+		}
+	case *ast.IncDecStmt:
+		c.recordWrite(n.X, f, exempt, fresh)
+	}
+}
+
+func (c *checker) recordWrite(lhs ast.Expr, f *facts, exempt bool, fresh map[*types.Var]bool) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if s, ok := c.info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	base, path, ok := resolveChain(c.info, sel)
+	if !ok || path == "" {
+		return
+	}
+	tn := namedTypeOf(base.Type())
+	if tn == nil || tn.Pkg() != c.pass.Pkg {
+		return
+	}
+	if _, isLock := containsLock(c.info.TypeOf(sel)); isLock {
+		return // writes that install the lock itself are not data accesses
+	}
+	must, may := f.rootHeld(base)
+	c.writes = append(c.writes, fieldWrite{
+		key:    fieldKey{tn, path},
+		pos:    lhs.Pos(),
+		must:   must,
+		may:    may,
+		exempt: exempt || fresh[base],
+	})
+}
+
+// collectWritesNoLocks is recordWriteNode for functions with no lock
+// activity: every write happens with an empty lockset.
+func (c *checker) collectWritesNoLocks(body *ast.BlockStmt, exempt bool, fresh map[*types.Var]bool) {
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt, *ast.IncDecStmt:
+			c.recordWriteNode(m, nil, exempt, fresh)
+		}
+		return true
+	})
+}
+
+// reportGuardedWrites runs the package-wide L5 phase: a field written at
+// least once with its base's lock must-held is guarded; lock-free,
+// non-exempt writes to guarded fields are flagged.
+func (c *checker) reportGuardedWrites() {
+	guarded := map[fieldKey]bool{}
+	for _, w := range c.writes {
+		if w.must {
+			guarded[w.key] = true
+		}
+	}
+	for _, w := range c.writes {
+		if guarded[w.key] && !w.may && !w.exempt {
+			c.pass.Reportf(w.pos, "write to %s.%s without holding its lock (written under lock elsewhere in this package)", w.key.tn.Name(), w.key.path)
+		}
+	}
+}
+
+// resolveChain resolves a selector chain to its root variable and dotted
+// field path, e.g. g.state.count → (g, "state.count").
+func resolveChain(info *types.Info, e ast.Expr) (*types.Var, string, bool) {
+	var parts []string
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[x].(*types.Var)
+			if v == nil {
+				return nil, "", false
+			}
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return v, strings.Join(parts, "."), true
+		case *ast.SelectorExpr:
+			parts = append(parts, x.Sel.Name)
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, "", false
+		}
+	}
+}
+
+// namedTypeOf returns the named type behind t (derefing one pointer), or
+// nil.
+func namedTypeOf(t types.Type) *types.TypeName {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// freshLocals finds locals bound to freshly constructed values (&T{...},
+// T{...}, new(T), or a plain var declaration): writes through them cannot
+// race, so L5 exempts them.
+func freshLocals(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	add := func(id *ast.Ident) {
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			out[v] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if ok && isFreshExpr(n.Rhs[i]) {
+					add(id)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 0 {
+				for _, id := range n.Names {
+					add(id)
+				}
+				return true
+			}
+			for i, id := range n.Names {
+				if i < len(n.Values) && isFreshExpr(n.Values[i]) {
+					add(id)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isFreshExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// L1: locks copied by value
+
+// copyChecks flags by-value traffic in types containing a mutex: function
+// parameters, results, and receivers declared by value, and existing
+// values copied through assignments, arguments, and returns. Composite
+// literals and address-taking are construction, not copying, and stay
+// silent.
+func (c *checker) copyChecks(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			c.checkFieldList(n.Recv)
+			c.checkFieldList(n.Type.Params)
+			c.checkFieldList(n.Type.Results)
+		case *ast.FuncLit:
+			c.checkFieldList(n.Type.Params)
+			c.checkFieldList(n.Type.Results)
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) {
+					c.checkValueCopy(n.Rhs[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				c.checkValueCopy(r)
+			}
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				c.checkValueCopy(a)
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) checkFieldList(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		tv, ok := c.info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if name, found := containsLock(tv.Type); found {
+			c.pass.Reportf(field.Type.Pos(), "lock passed by value: %s contains %s (use a pointer)",
+				types.TypeString(tv.Type, types.RelativeTo(c.pass.Pkg)), name)
+		}
+	}
+}
+
+// checkValueCopy flags expressions that read an existing lock-bearing
+// value into a copy.
+func (c *checker) checkValueCopy(e ast.Expr) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	tv, ok := c.info.Types[ast.Unparen(e)]
+	if !ok || !tv.IsValue() {
+		return
+	}
+	if name, found := containsLock(tv.Type); found {
+		c.pass.Reportf(e.Pos(), "lock copied by value: %s contains %s",
+			types.TypeString(tv.Type, types.RelativeTo(c.pass.Pkg)), name)
+	}
+}
+
+// containsLock reports whether a value of type t embeds a sync.Mutex or
+// sync.RWMutex by value (directly, through struct fields, or array
+// elements), returning the mutex type's name.
+func containsLock(t types.Type) (string, bool) {
+	return containsLockRec(t, map[types.Type]bool{})
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if t == nil || seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return "sync." + obj.Name(), true
+		}
+		return containsLockRec(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, ok := containsLockRec(u.Field(i).Type(), seen); ok {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(u.Elem(), seen)
+	}
+	return "", false
+}

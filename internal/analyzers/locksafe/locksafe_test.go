@@ -1,0 +1,37 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"dprle/internal/analysis/analysistest"
+	"dprle/internal/analyzers/locksafe"
+)
+
+func TestCopyByValue(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "locksafe_copy")
+}
+
+func TestLockLeaks(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "locksafe_leak")
+}
+
+func TestDoubleLock(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "locksafe_double")
+}
+
+func TestBlockingUnderLock(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "locksafe_block")
+}
+
+func TestGuardedWrites(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "locksafe_guard")
+}
+
+// TestPoolFlightSeededBugs models the pool/flight-map idiom of
+// internal/server and internal/solvecache with three seeded concurrency
+// bugs (blocking send under RLock, lock-free write to a guarded flag, a
+// lock leaked on the singleflight miss path) and checks locksafe reports
+// each one.
+func TestPoolFlightSeededBugs(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "poolbug")
+}

@@ -1,0 +1,83 @@
+// L4: blocking operations while a lock is held.
+package locksafe_block
+
+import (
+	"io"
+	"sync"
+)
+
+type srv struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (s *srv) sendUnder(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- 1 // want `channel send while s.mu is held`
+}
+
+func (s *srv) recvUnder(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // want `channel receive while s.mu is held`
+}
+
+func (s *srv) selectUnder(a, b chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while s.mu is held`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func (s *srv) nonBlockingSelectOK(ch chan int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *srv) rangeUnder(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range ch { // want `range over channel while s.mu is held`
+		s.buf = append(s.buf, byte(v))
+	}
+}
+
+func (s *srv) readUnder(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := io.ReadAll(r) // want `call to io.ReadAll while s.mu is held`
+	s.buf = b
+	return err
+}
+
+func block(ch chan int) { ch <- 1 }
+
+func (s *srv) transitive(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	block(ch) // want `call to block \(channel send\) while s.mu is held`
+}
+
+func (s *srv) unlockFirstOK(ch chan int) {
+	s.mu.Lock()
+	s.buf = nil
+	s.mu.Unlock()
+	ch <- 1
+}
+
+func (s *srv) goOK(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go block(ch) // the goroutine blocks, not the caller
+}

@@ -1,0 +1,40 @@
+// L1: locks copied by value.
+package locksafe_copy
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(c counter) int { // want `lock passed by value`
+	return c.n
+}
+
+func (c counter) byValueRecv() int { // want `lock passed by value`
+	return c.n
+}
+
+func byValueReturn(c *counter) counter { // want `lock passed by value`
+	return *c // want `lock copied by value`
+}
+
+func assignCopy(c *counter) {
+	d := *c // want `lock copied by value`
+	use(&d)
+}
+
+func argCopy(c *counter) {
+	sink(*c) // want `lock copied by value`
+}
+
+func use(*counter) {}
+
+func sink(counter) {} // want `lock passed by value`
+
+func pointerOK(c *counter) *counter { return c }
+
+func constructOK() *counter {
+	return &counter{n: 1}
+}

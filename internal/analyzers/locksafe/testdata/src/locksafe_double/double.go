@@ -1,0 +1,62 @@
+// L3: re-acquiring a lock already held, directly or through one call.
+package locksafe_double
+
+import "sync"
+
+type cache struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+func (c *cache) get(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}
+
+func (c *cache) double(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // want `second Lock of c.mu`
+	return c.m[k]
+}
+
+func (c *cache) throughCall(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.get(k) // want `call to get acquires c.mu`
+}
+
+func (c *cache) rlockUnderWrite() {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.rw.RLock() // want `RLock of c.rw while its write lock is held`
+	c.rw.RUnlock()
+}
+
+func (c *cache) rlockTwiceOK() {
+	c.rw.RLock()
+	c.rw.RLock() // RLock after RLock is legal: not flagged
+	c.rw.RUnlock()
+	c.rw.RUnlock()
+}
+
+func (c *cache) unlockBetweenOK(k string) int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}
+
+func (c *cache) branchOK(k string, cond bool) int {
+	if cond {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.m[k]
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return -c.m[k]
+}

@@ -1,0 +1,34 @@
+// L5: guarded fields written on lock-free paths.
+package locksafe_guard
+
+import "sync"
+
+type reg struct {
+	mu    sync.Mutex
+	count int
+	name  string
+}
+
+func (r *reg) bump() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+}
+
+func (r *reg) reset() {
+	r.count = 0 // want `write to reg.count without holding its lock`
+}
+
+func (r *reg) resetLocked() {
+	r.count = 0 // caller holds the lock: Locked suffix exempts
+}
+
+func newReg() *reg {
+	r := &reg{}
+	r.count = 1 // fresh local: nothing can race yet
+	return r
+}
+
+func (r *reg) setName(n string) {
+	r.name = n // never written under a lock: not guarded
+}

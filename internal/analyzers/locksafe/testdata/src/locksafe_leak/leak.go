@@ -1,0 +1,72 @@
+// L2: locks that may still be held at return.
+package locksafe_leak
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func leakOnPath(s *store, cond bool) {
+	s.mu.Lock() // want `s.mu may still be held at return`
+	if cond {
+		return
+	}
+	s.mu.Unlock()
+}
+
+func leakAlways(s *store) {
+	s.mu.Lock() // want `s.mu may still be held at return`
+	s.n++
+}
+
+func rlockLeak(s *store, cond bool) int {
+	s.rw.RLock() // want `s.rw may still be held at return`
+	if cond {
+		return 0
+	}
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+func deferOK(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func deferClosureOK(s *store) {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	s.n++
+}
+
+func straightOK(s *store) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// earlyReturnDeferOK is the nil-receiver idiom: the early-return path never
+// acquires the lock, so joining it must not erase the deferred unlock of
+// the path that does (regression: this was a false positive).
+func earlyReturnDeferOK(s *store) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func bothPathsOK(s *store, cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}

@@ -1,0 +1,76 @@
+// Package poolbug is the seeded-bug regression for the pool/flight-map
+// idiom the solver's server and solvecache packages use: an RWMutex
+// guarding a closed flag plus a submit channel, and a Mutex guarding a
+// singleflight map. Each seeded bug is a concurrency failure the idiom is
+// known to invite; locksafe must catch all three.
+package poolbug
+
+import "sync"
+
+type task struct{ id int }
+
+type pool struct {
+	mu     sync.RWMutex
+	closed bool
+	submit chan task
+}
+
+// enqueue blocks on the submit channel while holding the read lock: if
+// every worker is parked, shutdown can never take the write lock.
+func (p *pool) enqueue(t task) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	p.submit <- t // want `channel send while p.mu is held`
+	return true
+}
+
+// shutdown flips the flag without the write lock: enqueue's closed check
+// races with it.
+func (p *pool) shutdown() {
+	p.closed = true // want `write to pool.closed without holding its lock`
+	close(p.submit)
+}
+
+// markClosed is the disciplined sibling that establishes closed as a
+// guarded field.
+func (p *pool) markClosed() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+}
+
+type call struct {
+	done chan struct{}
+	val  int
+}
+
+type flightMap struct {
+	mu     sync.Mutex
+	flight map[string]*call
+}
+
+// begin leaks the flight lock on the miss path: the caller returns with
+// mu held and every later request deadlocks.
+func (f *flightMap) begin(key string) (*call, bool) {
+	f.mu.Lock() // want `f.mu may still be held at return`
+	if c, ok := f.flight[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c, false
+	}
+	c := &call{done: make(chan struct{})}
+	f.flight[key] = c
+	return c, true // missing f.mu.Unlock()
+}
+
+// finish is the correct counterpart: unlock before waking waiters.
+func (f *flightMap) finish(key string, c *call, v int) {
+	f.mu.Lock()
+	delete(f.flight, key)
+	f.mu.Unlock()
+	c.val = v
+	close(c.done)
+}

@@ -14,3 +14,10 @@ func TestMapiterorder(t *testing.T) {
 func TestSortedKeysFix(t *testing.T) {
 	analysistest.RunWithSuggestedFixes(t, "testdata", mapiterorder.Analyzer, "fix")
 }
+
+// TestFixRoundTrip applies the sorted-keys fix to a copy of the fixture
+// tree and re-runs the analyzer: the fix must discharge its own finding
+// and leave gofmt-clean source behind.
+func TestFixRoundTrip(t *testing.T) {
+	analysistest.RunFixRoundTrip(t, "testdata", mapiterorder.Analyzer, "fix")
+}

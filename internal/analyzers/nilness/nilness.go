@@ -11,6 +11,8 @@ import (
 
 	"dprle/internal/analysis"
 	"dprle/internal/analysis/dataflow"
+	"dprle/internal/analyzers/interproc"
+	"dprle/internal/analyzers/lintutil"
 	"dprle/internal/analyzers/nilfacts"
 )
 
@@ -31,6 +33,13 @@ N2 — a nil comparison whose outcome is already determined by the facts in
 force (x provably nil or provably non-nil): the check is dead, and the
 code it guards is either unconditionally run or unreachable.
 
+N3 (interprocedural, disable with -interproc=false) — a nil value (the
+literal, or a variable provably nil on this path) passed to a function in
+the same package whose summary says it dereferences that parameter on some
+path: the panic happens one call deeper, where intraprocedural analysis
+cannot see it. Summaries come from internal/analyzers/interproc; callees
+that guard the parameter with their own nil check are not flagged.
+
 Method calls through possibly-nil receivers are deliberately not flagged:
 the solver's nil-receiver contract (budget.Budget) makes those legal.
 Only variables that are never address-taken and never captured by a
@@ -41,6 +50,14 @@ Suppress with //lint:ignore dprlelint/nilness <reason>.`,
 }
 
 func run(pass *analysis.Pass) error {
+	var ip *interproc.Info
+	if interproc.Enabled {
+		info, err := interproc.Of(pass)
+		if err != nil {
+			return err
+		}
+		ip = info
+	}
 	for _, file := range pass.Files {
 		var err error
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -50,10 +67,10 @@ func run(pass *analysis.Pass) error {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					err = checkFunc(pass, fn, fn.Body)
+					err = checkFunc(pass, ip, fn, fn.Body)
 				}
 			case *ast.FuncLit:
-				err = checkFunc(pass, fn, fn.Body)
+				err = checkFunc(pass, ip, fn, fn.Body)
 			}
 			return true
 		})
@@ -78,9 +95,25 @@ func nilable(t types.Type) bool {
 	return false
 }
 
-func checkFunc(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) error {
+func checkFunc(pass *analysis.Pass, ip *interproc.Info, fn ast.Node, body *ast.BlockStmt) error {
 	tracked := nilfacts.TrackedVars(pass.TypesInfo, fn, body, nilable)
 	if len(tracked) == 0 {
+		// No flow facts to compute, but literal nil arguments can still
+		// trip an N3 summary.
+		if ip != nil {
+			lat := &nilfacts.Lattice{Info: pass.TypesInfo, Tracked: tracked}
+			empty := &nilfacts.Facts{}
+			reported := map[ast.Node]bool{}
+			ast.Inspect(body, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := m.(*ast.CallExpr); ok {
+					checkNilArgs(pass, ip, lat, call, empty, reported)
+				}
+				return true
+			})
+		}
 		return nil
 	}
 	lat := &nilfacts.Lattice{Info: pass.TypesInfo, Tracked: tracked}
@@ -93,7 +126,7 @@ func checkFunc(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) error {
 	// N1: dereferences under the facts in force at each node.
 	reported := map[ast.Node]bool{}
 	dataflow.WalkForward(g, lat, lat, res, func(n ast.Node, before dataflow.Fact) {
-		checkNode(pass, lat, n, before.(*nilfacts.Facts), reported)
+		checkNode(pass, ip, lat, n, before.(*nilfacts.Facts), reported)
 	})
 
 	// N2: decided nil checks, detected on the condition edges. An edge
@@ -127,7 +160,7 @@ func checkFunc(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) error {
 
 // checkNode walks one block node (skipping nested function literals, which
 // have their own CFG) and reports guaranteed-nil dereferences.
-func checkNode(pass *analysis.Pass, lat *nilfacts.Lattice, n ast.Node, f *nilfacts.Facts, reported map[ast.Node]bool) {
+func checkNode(pass *analysis.Pass, ip *interproc.Info, lat *nilfacts.Lattice, n ast.Node, f *nilfacts.Facts, reported map[ast.Node]bool) {
 	// A RangeStmt node stands only for its X operand (see dataflow.Block).
 	if rng, ok := n.(*ast.RangeStmt); ok {
 		n = rng.X
@@ -168,9 +201,46 @@ func checkNode(pass *analysis.Pass, lat *nilfacts.Lattice, n ast.Node, f *nilfac
 						v.Name(), m.Sel.Name, v.Name())
 				}
 			}
+		case *ast.CallExpr:
+			checkNilArgs(pass, ip, lat, m, f, reported)
 		}
 		return true
 	})
+}
+
+// checkNilArgs is N3: a provably nil argument handed to an in-package
+// callee whose summary dereferences that parameter.
+func checkNilArgs(pass *analysis.Pass, ip *interproc.Info, lat *nilfacts.Lattice, call *ast.CallExpr, f *nilfacts.Facts, reported map[ast.Node]bool) {
+	if ip == nil || reported[call] {
+		return
+	}
+	callee := lintutil.Callee(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	sum, ok := ip.ForFunc(callee)
+	if !ok {
+		return
+	}
+	sig := callee.Type().(*types.Signature)
+	for j, arg := range call.Args {
+		if j >= len(sum.DerefsParamWhenNil) || !sum.DerefsParamWhenNil[j] {
+			continue
+		}
+		param := sig.Params().At(j).Name()
+		if lintutil.IsNilIdent(pass.TypesInfo, arg) {
+			reported[call] = true
+			pass.Reportf(call.Pos(), "passing nil to %s, which dereferences parameter %s (panic one call deep)",
+				callee.Name(), param)
+			return
+		}
+		if v := trackedIdent(pass.TypesInfo, lat, arg); v != nil && f.Get(v) == nilfacts.Nil {
+			reported[call] = true
+			pass.Reportf(call.Pos(), "passing provably nil %s to %s, which dereferences parameter %s (panic one call deep)",
+				v.Name(), callee.Name(), param)
+			return
+		}
+	}
 }
 
 // trackedIdent resolves e to a tracked variable, or nil.

@@ -8,5 +8,5 @@ import (
 )
 
 func TestNilness(t *testing.T) {
-	analysistest.Run(t, "testdata", nilness.Analyzer, "a")
+	analysistest.Run(t, "testdata", nilness.Analyzer, "a", "n3")
 }

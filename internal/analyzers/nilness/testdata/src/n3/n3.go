@@ -1,0 +1,49 @@
+// N3: nil flowing into a same-package callee that dereferences it.
+package n3
+
+type node struct {
+	next *node
+	v    int
+}
+
+func deref(p *node) int { return p.v }
+
+func derefTransitive(q *node) int { return deref(q) }
+
+func guarded(p *node) int {
+	if p == nil {
+		return 0
+	}
+	return p.v
+}
+
+func callerNilVar() int {
+	var p *node
+	return deref(p) // want `passing provably nil p to deref, which dereferences parameter p`
+}
+
+func callerNilLiteral() int {
+	return deref(nil) // want `passing nil to deref, which dereferences parameter p`
+}
+
+func callerTransitive() int {
+	var p *node
+	return derefTransitive(p) // want `passing provably nil p to derefTransitive`
+}
+
+func callerGuardedOK() int {
+	var p *node
+	return guarded(p) // guarded handles nil: clean
+}
+
+func callerNonNilOK() int {
+	p := &node{v: 2}
+	return deref(p)
+}
+
+func callerRefinedOK(p *node) int {
+	if p != nil {
+		return deref(p)
+	}
+	return 0
+}
