@@ -222,14 +222,14 @@ func (b *bodyWalker) walkOwner(owner *Node, body *ast.BlockStmt) {
 				return false
 			case *ast.GoStmt:
 				b.addSite(owner, m.Call, Go, binds)
-				walk(m.Call.Fun, Go)
+				walk(m.Call.Fun, Call)
 				for _, a := range m.Call.Args {
 					walk(a, Call)
 				}
 				return false
 			case *ast.DeferStmt:
 				b.addSite(owner, m.Call, Defer, binds)
-				walk(m.Call.Fun, Defer)
+				walk(m.Call.Fun, Call)
 				for _, a := range m.Call.Args {
 					walk(a, Call)
 				}
@@ -245,8 +245,9 @@ func (b *bodyWalker) walkOwner(owner *Node, body *ast.BlockStmt) {
 }
 
 // addSite resolves one call expression and appends the site to owner.
-// Sites for go/defer record the mode of the statement that owns them;
-// nested calls inside arguments are ordinary calls.
+// Only the outermost call expression of a go/defer statement records that
+// mode; calls nested in its function or argument positions are evaluated
+// synchronously at the statement and are ordinary calls.
 func (b *bodyWalker) addSite(owner *Node, call *ast.CallExpr, mode Mode, binds map[*types.Var]*ast.FuncLit) {
 	fun := ast.Unparen(call.Fun)
 

@@ -140,6 +140,35 @@ func top() {
 	)
 }
 
+// TestGoDeferFunPositionCalls checks that a call nested in the Fun position
+// of a go/defer statement — evaluated synchronously on the calling
+// goroutine — is recorded as an ordinary call; only the outermost call
+// expression carries the Go/Defer mode.
+func TestGoDeferFunPositionCalls(t *testing.T) {
+	g, _ := load(t, `package p
+func getF() func() { return func() {} }
+func top() {
+	go getF()()
+	defer getF()()
+}
+`)
+	wantEdges(t, g,
+		"top->getF",
+		"top->getF",
+	)
+	// The outer invocations of the returned values are dynamic.
+	if g.DynamicSkips != 2 {
+		t.Errorf("DynamicSkips = %d, want 2", g.DynamicSkips)
+	}
+	for _, n := range g.Nodes {
+		for _, s := range n.Sites {
+			if s.Fn != nil && s.Fn.Name() == "getF" && s.Mode != Call {
+				t.Errorf("getF site mode = %v, want call", s.Mode)
+			}
+		}
+	}
+}
+
 func TestInterfaceDispatchIsCountedSkip(t *testing.T) {
 	g, _ := load(t, `package p
 type I interface{ M() }
@@ -242,9 +271,9 @@ func b() { c(); a() }
 func c() {}
 func main() { a() }
 `)
-	sums, err := Summaries(g, reachAnalysis{height: len(g.Nodes) + 1})
-	if err != nil {
-		t.Fatal(err)
+	sums, diverged := Summaries(g, reachAnalysis{height: len(g.Nodes) + 1})
+	if diverged != 0 {
+		t.Fatalf("diverged = %d, want 0", diverged)
 	}
 	byName := map[string]reachSummary{}
 	for _, n := range g.Nodes {
@@ -262,15 +291,31 @@ func main() { a() }
 	}
 }
 
-func TestSummariesDivergenceGuard(t *testing.T) {
+// TestSummariesDivergenceDegrades checks that an SCC whose fixpoint trips
+// the lattice-height bound is degraded to Bottom for every member —
+// instead of failing the whole run — and that unaffected components keep
+// their summaries.
+func TestSummariesDivergenceDegrades(t *testing.T) {
 	g, _ := load(t, `package p
-func a() { b() }
+func a() { b(); leaf() }
 func b() { a() }
+func leaf() {}
 `)
-	// Height 0 and an Equal that never holds forces the bound to trip.
-	_, err := Summaries(g, brokenAnalysis{})
-	if err != ErrSummaryDiverged {
-		t.Fatalf("err = %v, want ErrSummaryDiverged", err)
+	// Height 0 and an Equal that never holds forces the bound to trip for
+	// the a/b cycle; leaf is a singleton and summarizes normally.
+	sums, diverged := Summaries(g, brokenAnalysis{})
+	if diverged != 1 {
+		t.Fatalf("diverged = %d, want 1", diverged)
+	}
+	for _, n := range g.Nodes {
+		got := sums[n.ID].(int)
+		want := 0 // Bottom for the degraded cycle...
+		if n.Name() == "leaf" {
+			want = 1 // ...but the clean singleton keeps its summary.
+		}
+		if got != want {
+			t.Errorf("%s: summary = %d, want %d", n.Name(), got, want)
+		}
 	}
 }
 
@@ -279,7 +324,7 @@ type brokenAnalysis struct{}
 func (brokenAnalysis) Bottom() Summary                                    { return 0 }
 func (brokenAnalysis) Height() int                                        { return 0 }
 func (brokenAnalysis) Equal(a, b Summary) bool                            { return false }
-func (brokenAnalysis) Summarize(n *Node, get func(*Node) Summary) Summary { return 0 }
+func (brokenAnalysis) Summarize(n *Node, get func(*Node) Summary) Summary { return 1 }
 
 func TestDeterministicNodeOrder(t *testing.T) {
 	src := `package p

@@ -1,7 +1,5 @@
 package callgraph
 
-import "fmt"
-
 // A Summarizer computes one caller-visible summary per graph node. The
 // driver (Summaries) calls Summarize bottom-up — every resolved callee
 // outside the node's own SCC is summarized first — and iterates mutually
@@ -12,8 +10,11 @@ import "fmt"
 // known yet), and Summarize must be monotone — given rising callee
 // summaries it returns a rising result. Height bounds the longest strictly
 // rising chain, which caps fixpoint iteration within an SCC; like the
-// dataflow solver, the driver enforces the bound explicitly and fails loudly
-// (ErrSummaryDiverged) instead of spinning on a broken implementation.
+// dataflow solver, the driver enforces the bound explicitly. An SCC that
+// exceeds it (a non-monotone Summarize or an underestimated Height) is
+// degraded to Bottom for every member — the no-assumption direction every
+// consumer already handles — instead of failing the whole run: one broken
+// component must not silence the findings of the rest of the package.
 type Summarizer interface {
 	// Bottom is the initial summary every node starts from.
 	Bottom() Summary
@@ -32,33 +33,29 @@ type Summarizer interface {
 // A Summary is one node's caller-visible abstraction; opaque to the driver.
 type Summary interface{}
 
-// ErrSummaryDiverged is returned when an SCC fails to reach a fixpoint
-// within the declared lattice height — a non-monotone Summarize or an
-// underestimated Height.
-var ErrSummaryDiverged = fmt.Errorf("callgraph: summary fixpoint exceeded lattice height (non-monotone Summarize or wrong Height)")
-
 // Summaries runs s over the whole graph bottom-up and returns the summary
-// of every node, indexed by Node.ID. Singleton SCCs without self-calls are
-// summarized exactly once; cyclic SCCs iterate round-robin (members in ID
-// order) until no member's summary changes, bounded by |scc| * (Height+2)
-// recomputations.
-func Summaries(g *Graph, s Summarizer) ([]Summary, error) {
+// of every node, indexed by Node.ID, plus the number of SCCs that failed
+// to reach a fixpoint within the lattice-height bound and were degraded to
+// Bottom (drivers surface the count under -stats). Singleton SCCs without
+// self-calls are summarized exactly once; cyclic SCCs iterate round-robin
+// (members in ID order) until no member's summary changes, bounded by
+// |scc| * (Height+2) recomputations.
+func Summaries(g *Graph, s Summarizer) ([]Summary, int) {
 	out := make([]Summary, len(g.Nodes))
 	for i := range out {
 		out[i] = s.Bottom()
 	}
 	get := func(n *Node) Summary { return out[n.ID] }
 
+	diverged := 0
 	for _, scc := range g.SCCs {
 		if len(scc) == 1 && !callsSelf(scc[0]) {
 			out[scc[0].ID] = s.Summarize(scc[0], get)
 			continue
 		}
 		bound := len(scc) * (s.Height() + 2)
-		for round := 0; ; round++ {
-			if round > bound {
-				return nil, ErrSummaryDiverged
-			}
+		converged := false
+		for round := 0; round <= bound; round++ {
 			changed := false
 			for _, n := range scc {
 				next := s.Summarize(n, get)
@@ -68,11 +65,18 @@ func Summaries(g *Graph, s Summarizer) ([]Summary, error) {
 				}
 			}
 			if !changed {
+				converged = true
 				break
 			}
 		}
+		if !converged {
+			diverged++
+			for _, n := range scc {
+				out[n.ID] = s.Bottom()
+			}
+		}
 	}
-	return out, nil
+	return out, diverged
 }
 
 func callsSelf(n *Node) bool {

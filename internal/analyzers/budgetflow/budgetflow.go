@@ -52,11 +52,7 @@ Suppress with //lint:ignore dprlelint/budgetflow <reason>.`,
 func run(pass *analysis.Pass) error {
 	var ip *interproc.Info
 	if interproc.Enabled {
-		info, err := interproc.Of(pass)
-		if err != nil {
-			return err
-		}
-		ip = info
+		ip = interproc.Of(pass)
 	}
 	for _, file := range pass.Files {
 		var err error

@@ -39,6 +39,17 @@ import (
 // number of conservatively skipped dynamic call sites is reported.
 const StatDynamicSkips = "dynamic-calls-skipped"
 
+// StatDegradedSCCs counts call-graph components whose summary fixpoint
+// exceeded the lattice-height bound and was degraded to the empty summary
+// (no caller-visible assumptions) rather than failing the run.
+const StatDegradedSCCs = "summary-sccs-degraded"
+
+// maxLockPathSegs caps the receiver-relative field-path depth recorded in
+// RecvLocks. Deeper paths (possible only through long acyclic call chains,
+// e.g. a.b.c.d.e.mu) are dropped — the no-assumption direction — keeping
+// the lock-summary lattice finite regardless of how types nest.
+const maxLockPathSegs = 4
+
 // Enabled gates the interprocedural layer. When false (dprlelint
 // -interproc=false), consumers fall back to their intraprocedural
 // behavior: Of still works if called, but the analyzers consult this flag
@@ -52,9 +63,13 @@ var Enabled = true
 // calls legal).
 type FuncSummary struct {
 	// DerefsParamWhenNil[i] reports that calling the function with a nil
-	// i-th argument dereferences it (field access, *p, nil-map write, or a
-	// transitive call that does) on some feasible path — i.e. the call
-	// panics for a nil argument.
+	// i-th argument — and every other nilable argument non-nil —
+	// dereferences it (field access, *p, nil-map write, or a transitive
+	// call that does) on some feasible path, i.e. the call panics for a
+	// nil argument on its own. Each parameter gets its own boundary solve;
+	// derefs reachable only when several parameters are nil at once are
+	// deliberately not recorded (a caller-side check cannot distinguish
+	// them from the feasible case, so they would be false positives).
 	DerefsParamWhenNil []bool
 	// StoresParam[i] reports that the i-th parameter may be stored into a
 	// global, a field, a container element, or a channel (directly or
@@ -81,7 +96,10 @@ type FuncSummary struct {
 	// RecvLocks lists, for methods, the receiver-relative field paths of
 	// sync.Mutex/RWMutex values the function may acquire (directly or via
 	// same-receiver method calls): "mu", "state.mu", or "" when the
-	// receiver itself is the mutex (embedded). Sorted.
+	// receiver itself is the mutex (embedded). Paths are capped at
+	// maxLockPathSegs segments, and recursion through a self-referential
+	// receiver chain (n.next.M() inside M) contributes nothing — both drop
+	// in the no-assumption direction so the set stays finite. Sorted.
 	RecvLocks []string
 	// GlobalLocks lists package-level mutex variables the function may
 	// acquire. Sorted by name for determinism.
@@ -93,6 +111,9 @@ type Info struct {
 	Graph *callgraph.Graph
 	// Summaries is indexed by callgraph node ID.
 	Summaries []FuncSummary
+	// DegradedSCCs counts components whose summary fixpoint failed to
+	// converge and fell back to empty summaries (surfaced under -stats).
+	DegradedSCCs int
 }
 
 // ForFunc returns the summary for a declared function or method of the
@@ -113,54 +134,61 @@ var (
 // Of computes (or returns the memoized) interprocedural info for the
 // package a Pass presents. Analyzers running over the same package share
 // one computation; the result depends only on the package content, so
-// memoization cannot change findings. The dynamic-dispatch skip count is
-// recorded on the calling analyzer's Pass each time, so every consumer's
-// -stats row shows the approximation it ran under.
-func Of(pass *analysis.Pass) (*Info, error) {
+// memoization cannot change findings. The dynamic-dispatch skip and
+// degraded-SCC counts are recorded on the calling analyzer's Pass each
+// time, so every consumer's -stats row shows the approximation it ran
+// under. Summary computation cannot fail: components that do not converge
+// degrade to empty summaries instead of aborting the analyzers.
+func Of(pass *analysis.Pass) *Info {
 	cacheMu.Lock()
 	in, ok := cache[pass.Pkg]
 	cacheMu.Unlock()
 	if !ok {
 		g := callgraph.Build(pass.TypesInfo, pass.Files)
-		sums, err := computeSummaries(pass.TypesInfo, g)
-		if err != nil {
-			return nil, err
-		}
-		in = &Info{Graph: g, Summaries: sums}
+		sums, degraded := computeSummaries(pass.TypesInfo, g)
+		in = &Info{Graph: g, Summaries: sums, DegradedSCCs: degraded}
 		cacheMu.Lock()
 		cache[pass.Pkg] = in
 		cacheMu.Unlock()
 	}
 	pass.CountStat(StatDynamicSkips, in.Graph.DynamicSkips)
-	return in, nil
+	pass.CountStat(StatDegradedSCCs, in.DegradedSCCs)
+	return in
 }
 
 // summarizer implements callgraph.Summarizer for FuncSummary.
 type summarizer struct {
 	info   *types.Info
+	g      *callgraph.Graph
 	height int
 }
 
-func computeSummaries(info *types.Info, g *callgraph.Graph) ([]FuncSummary, error) {
+func computeSummaries(info *types.Info, g *callgraph.Graph) ([]FuncSummary, int) {
 	// Height: per function the summary can rise once per parameter bit
-	// (three bit-vectors), once for MayBlock, and once per distinct lock
-	// key the package mentions. Bound all of it by a package-wide figure.
-	maxParams := 0
+	// (three bit-vectors), once for MayBlock, and once per lock path that
+	// can enter a RecvLocks/GlobalLocks set. Lock paths originate at mutex
+	// acquisition sites (each contributes one receiver-relative or global
+	// key, possibly re-prefixed along acyclic call chains up to the
+	// maxLockPathSegs cap), so the site count bounds the distinct keys
+	// that can propagate within any one SCC.
+	maxParams, lockSites := 0, 0
 	for _, n := range g.Nodes {
 		if sig := n.Type(); sig != nil && sig.Params().Len() > maxParams {
 			maxParams = sig.Params().Len()
 		}
+		for _, site := range n.Sites {
+			if _, ok := MutexMethod(site.Fn); ok {
+				lockSites++
+			}
+		}
 	}
-	s := &summarizer{info: info, height: 3*maxParams + len(g.Nodes) + 8}
-	raw, err := callgraph.Summaries(g, s)
-	if err != nil {
-		return nil, err
-	}
+	s := &summarizer{info: info, g: g, height: 3*maxParams + lockSites + len(g.Nodes) + 8}
+	raw, degraded := callgraph.Summaries(g, s)
 	out := make([]FuncSummary, len(raw))
 	for i, r := range raw {
 		out[i] = r.(FuncSummary)
 	}
-	return out, nil
+	return out, degraded
 }
 
 func (s *summarizer) Bottom() callgraph.Summary { return FuncSummary{} }
@@ -278,10 +306,15 @@ type boundaryLattice struct {
 
 func (b boundaryLattice) Boundary() dataflow.Fact { return b.entry }
 
-// nilDerefParams fills DerefsParamWhenNil: run the nilness lattice with a
-// nil boundary for each tracked parameter and look for dereferences (or
-// transitive nil-derefing calls) executed while the parameter is still
-// provably nil.
+// nilDerefParams fills DerefsParamWhenNil with one boundary solve per
+// tracked parameter: that parameter enters provably nil, every other
+// tracked parameter enters non-nil, and a dereference (or transitive
+// nil-derefing call) reached while the fact is still Nil marks the bit.
+// Seeding the parameters one at a time keeps the summary faithful to its
+// per-parameter meaning: a deref guarded by another parameter's nil check
+// (`if a == nil { return *b }`) is feasible only when both are nil at
+// once, so it must not mark b — a caller passing a provably non-nil a
+// cannot trip it. Co-nil panics are deliberately under-reported.
 func (s *summarizer) nilDerefParams(n *callgraph.Node, params []*types.Var, sum *FuncSummary, getSum func(*callgraph.Node) FuncSummary) {
 	if len(params) == 0 {
 		return
@@ -291,33 +324,17 @@ func (s *summarizer) nilDerefParams(n *callgraph.Node, params []*types.Var, sum 
 		fnNode = n.Lit
 	}
 	tracked := nilfacts.TrackedVars(s.info, fnNode, n.Body(), nilable)
-	entry := map[*types.Var]nilfacts.Val{}
-	anyTracked := false
+	var trackedParams []*types.Var
 	for _, p := range params {
 		if tracked[p] {
-			entry[p] = nilfacts.Nil
-			anyTracked = true
+			trackedParams = append(trackedParams, p)
 		}
 	}
-	if !anyTracked {
+	if len(trackedParams) == 0 {
 		return
 	}
 	lat := &nilfacts.Lattice{Info: s.info, Tracked: tracked}
-	blat := boundaryLattice{Lattice: lat, entry: &nilfacts.Facts{Vals: entry}}
 	g := dataflow.New(n.Body())
-	res, err := dataflow.Solve(g, blat, lat, dataflow.Forward)
-	if err != nil {
-		// A broken fixpoint leaves the summary empty — the conservative
-		// direction (no assumption about the callee).
-		return
-	}
-	mark := func(v *types.Var) {
-		for i, p := range params {
-			if p == v {
-				sum.DerefsParamWhenNil[i] = true
-			}
-		}
-	}
 	// Map call sites to callee nodes for the transitive check.
 	siteCallee := map[*ast.CallExpr]*callgraph.Node{}
 	for _, site := range n.Sites {
@@ -325,19 +342,50 @@ func (s *summarizer) nilDerefParams(n *callgraph.Node, params []*types.Var, sum 
 			siteCallee[site.Call] = site.Callee
 		}
 	}
+	for _, p := range trackedParams {
+		s.nilDerefOneParam(n, p, params, trackedParams, lat, g, sum, siteCallee, getSum)
+	}
+}
+
+// nilDerefOneParam runs the boundary solve for a single nil-seeded
+// parameter p and marks its DerefsParamWhenNil bit.
+func (s *summarizer) nilDerefOneParam(n *callgraph.Node, p *types.Var, params, trackedParams []*types.Var, lat *nilfacts.Lattice, g *dataflow.CFG, sum *FuncSummary, siteCallee map[*ast.CallExpr]*callgraph.Node, getSum func(*callgraph.Node) FuncSummary) {
+	entry := map[*types.Var]nilfacts.Val{p: nilfacts.Nil}
+	for _, q := range trackedParams {
+		if q != p {
+			entry[q] = nilfacts.NonNil
+		}
+	}
+	blat := boundaryLattice{Lattice: lat, entry: &nilfacts.Facts{Vals: entry}}
+	res, err := dataflow.Solve(g, blat, lat, dataflow.Forward)
+	if err != nil {
+		// A broken fixpoint leaves the summary empty — the conservative
+		// direction (no assumption about the callee).
+		return
+	}
+	mark := func() {
+		for i, pp := range params {
+			if pp == p {
+				sum.DerefsParamWhenNil[i] = true
+			}
+		}
+	}
+	// stillNil reports whether e names p while the fact is still Nil.
+	stillNil := func(e ast.Expr, f *nilfacts.Facts) bool {
+		v := usedVar(s.info, e)
+		return v == p && f.Get(v) == nilfacts.Nil
+	}
 	dataflow.WalkForward(g, blat, lat, res, func(node ast.Node, before dataflow.Fact) {
 		f := before.(*nilfacts.Facts)
 		if rng, ok := node.(*ast.RangeStmt); ok {
 			node = rng.X
 		}
-		// Nil-map writes through a parameter.
+		// Nil-map writes through the parameter.
 		if as, ok := node.(*ast.AssignStmt); ok {
 			for _, lhs := range as.Lhs {
-				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
-					if v := usedVar(s.info, ix.X); v != nil && tracked[v] && f.Get(v) == nilfacts.Nil {
-						if _, isMap := v.Type().Underlying().(*types.Map); isMap {
-							mark(v)
-						}
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && stillNil(ix.X, f) {
+					if _, isMap := p.Type().Underlying().(*types.Map); isMap {
+						mark()
 					}
 				}
 			}
@@ -347,17 +395,17 @@ func (s *summarizer) nilDerefParams(n *callgraph.Node, params []*types.Var, sum 
 			case *ast.FuncLit:
 				return false
 			case *ast.StarExpr:
-				if v := usedVar(s.info, m.X); v != nil && tracked[v] && f.Get(v) == nilfacts.Nil {
-					mark(v)
+				if stillNil(m.X, f) {
+					mark()
 				}
 			case *ast.SelectorExpr:
 				sel, ok := s.info.Selections[m]
 				if !ok || sel.Kind() != types.FieldVal {
 					return true
 				}
-				if v := usedVar(s.info, m.X); v != nil && tracked[v] && f.Get(v) == nilfacts.Nil {
-					if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
-						mark(v)
+				if stillNil(m.X, f) {
+					if _, isPtr := p.Type().Underlying().(*types.Pointer); isPtr {
+						mark()
 					}
 				}
 			case *ast.CallExpr:
@@ -370,8 +418,8 @@ func (s *summarizer) nilDerefParams(n *callgraph.Node, params []*types.Var, sum 
 					if j >= len(cs.DerefsParamWhenNil) || !cs.DerefsParamWhenNil[j] {
 						continue
 					}
-					if v := usedVar(s.info, arg); v != nil && tracked[v] && f.Get(v) == nilfacts.Nil {
-						mark(v)
+					if stillNil(arg, f) {
+						mark()
 					}
 				}
 			}
@@ -706,6 +754,18 @@ func (s *summarizer) locks(n *callgraph.Node, sum *FuncSummary, getSum func(*cal
 		}
 		if recv != nil && len(cs.RecvLocks) > 0 {
 			if base, path, ok := LockTarget(s.info, site.Call); ok && base == recv {
+				if path != "" && s.g.SameSCC(n, site.Callee) {
+					// Recursion through a self-referential receiver chain
+					// (n.next.M() inside M, or mutually recursive methods
+					// walking linked nodes): re-prefixing the callee's
+					// paths every fixpoint round would grow them without
+					// bound ("mu", "next.mu", "next.next.mu", ...). The
+					// locks live on other list nodes, not on this
+					// receiver, so dropping the contribution is the
+					// no-assumption direction. Same-receiver recursion
+					// (path == "") merges unprefixed and cannot grow.
+					continue
+				}
 				for _, lp := range cs.RecvLocks {
 					full := lp
 					if path != "" {
@@ -714,6 +774,9 @@ func (s *summarizer) locks(n *callgraph.Node, sum *FuncSummary, getSum func(*cal
 						} else {
 							full = path + "." + full
 						}
+					}
+					if pathSegs(full) > maxLockPathSegs {
+						continue
 					}
 					recvSet[full] = true
 				}
@@ -735,6 +798,15 @@ func (s *summarizer) locks(n *callgraph.Node, sum *FuncSummary, getSum func(*cal
 		})
 		sum.GlobalLocks = gvs
 	}
+}
+
+// pathSegs counts the dotted segments of a receiver-relative lock path
+// ("" → 0, "mu" → 1, "state.mu" → 2).
+func pathSegs(p string) int {
+	if p == "" {
+		return 0
+	}
+	return strings.Count(p, ".") + 1
 }
 
 func sortedKeys(m map[string]bool) []string {

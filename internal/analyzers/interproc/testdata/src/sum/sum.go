@@ -54,6 +54,26 @@ func noStore(p *int) int {
 	return *p + 1
 }
 
+// derefCoNil dereferences b only on a's nil branch: the panic needs both
+// parameters nil at once, so neither per-parameter bit may be set (a
+// caller passing a non-nil a cannot trip it).
+func derefCoNil(a, b *int) int {
+	if a == nil {
+		return *b
+	}
+	return 0
+}
+
+// derefAfterGuard dereferences b on a's non-nil branch: nil b alone
+// reaches it, so b's bit must be set even though a participates in the
+// branching.
+func derefAfterGuard(a, b *int) int {
+	if a == nil {
+		return 0
+	}
+	return *b
+}
+
 // DeterminizeB mimics a budgeted variant: *B name, budget first, error last.
 func DeterminizeB(bud *budget.Budget, n int) (int, error) {
 	if err := bud.Check("determinize"); err != nil {
@@ -128,6 +148,40 @@ func (g *guarded) locksRW() int {
 
 // locksTransitive acquires mu through a same-receiver call.
 func (g *guarded) locksTransitive() { g.locksMu() }
+
+// lnode is a self-referential type with a per-node mutex; lockChain
+// recurses through the receiver chain. The summary fixpoint must converge
+// with the receiver-relative path set bounded ("mu", not "next.mu",
+// "next.next.mu", ...) instead of diverging.
+type lnode struct {
+	mu   sync.Mutex
+	next *lnode
+	v    int
+}
+
+func (n *lnode) lockChain() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.next == nil {
+		return n.v
+	}
+	return n.next.lockChain() + n.v
+}
+
+// lockChainMutual recurses via a partner method, exercising the same
+// bound for a multi-member SCC.
+func (n *lnode) lockChainMutual() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lockChainPartner()
+}
+
+func (n *lnode) lockChainPartner() int {
+	if n.next == nil {
+		return n.v
+	}
+	return n.next.lockChainMutual() + n.v
+}
 
 var globalMu sync.Mutex
 

@@ -54,10 +54,14 @@ same receiver elsewhere in the package, reached here on a lock-free path.
 Functions whose name ends in "Locked" (the caller-holds-the-lock idiom)
 and writes through freshly constructed locals are exempt.
 
-go statements and deferred calls are excluded from lock tracking (the
-spawned goroutine has its own lockset; deferred work runs at return) —
-deferred unlocks are modeled, of course. Lock sites whose receiver cannot
-be resolved to a variable root are skipped and counted under -stats.
+The calls spawned by go statements and registered by defer statements are
+excluded from lock tracking (the spawned goroutine has its own lockset;
+deferred work runs at return) — but their function and argument
+expressions are evaluated at the statement on the calling goroutine, so
+events inside them (defer f(<-ch), go f(m.helper())) are tracked as
+immediate, and deferred unlocks are modeled, of course. Lock sites whose
+receiver cannot be resolved to a variable root are skipped and counted
+under -stats.
 
 Suppress with //lint:ignore dprlelint/locksafe <reason>.`,
 	Run: run,
@@ -66,11 +70,7 @@ Suppress with //lint:ignore dprlelint/locksafe <reason>.`,
 func run(pass *analysis.Pass) error {
 	c := &checker{pass: pass, info: pass.TypesInfo}
 	if interproc.Enabled {
-		ip, err := interproc.Of(pass)
-		if err != nil {
-			return err
-		}
-		c.ip = ip
+		c.ip = interproc.Of(pass)
 	}
 	for _, file := range pass.Files {
 		c.copyChecks(file)
@@ -332,9 +332,12 @@ type eventSink struct {
 }
 
 // walkEvents enumerates the events of one CFG node. Nested function
-// literals and go statements are skipped entirely; deferred calls
-// contribute only deferred unlocks. A *ast.RangeStmt node stands for its X
-// operand alone (see dataflow.Block).
+// literals are skipped entirely. The calls spawned by go statements and
+// registered by defer statements do not run here — but their function and
+// argument expressions are evaluated at the statement, on this goroutine,
+// so those subexpressions contribute ordinary events (`defer f(<-ch)`
+// blocks now); deferred calls additionally contribute deferred unlocks. A
+// *ast.RangeStmt node stands for its X operand alone (see dataflow.Block).
 func (c *checker) walkEvents(si *selectInfo, n ast.Node, sink eventSink) {
 	emitBlock := func(desc string, pos token.Pos) {
 		if sink.block != nil {
@@ -356,12 +359,27 @@ func (c *checker) walkEvents(si *selectInfo, n ast.Node, sink eventSink) {
 	// op: with a default it cannot park, without one the select itself was
 	// just reported.
 	commSuppressed := si.nonBlocking[n] || si.blocking[n] != nil
-	ast.Inspect(n, func(m ast.Node) bool {
+	var visit func(m ast.Node) bool
+	// visitNow walks the immediately evaluated subexpressions of a go or
+	// defer statement's call: the Fun operand (which may itself contain
+	// calls, as in `go obj.handler()()`) and every argument. The outer call
+	// is deliberately not an event here.
+	visitNow := func(call *ast.CallExpr) {
+		ast.Inspect(call.Fun, visit)
+		for _, a := range call.Args {
+			ast.Inspect(a, visit)
+		}
+	}
+	visit = func(m ast.Node) bool {
 		switch m := m.(type) {
-		case *ast.FuncLit, *ast.GoStmt:
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			visitNow(m.Call)
 			return false
 		case *ast.DeferStmt:
 			c.deferredUnlocks(m, sink)
+			visitNow(m.Call)
 			return false
 		case *ast.SendStmt:
 			if !commSuppressed {
@@ -399,7 +417,8 @@ func (c *checker) walkEvents(si *selectInfo, n ast.Node, sink eventSink) {
 			}
 		}
 		return true
-	})
+	}
+	ast.Inspect(n, visit)
 }
 
 // deferredUnlocks emits opDeferUnlock for `defer mu.Unlock()` and for

@@ -27,6 +27,14 @@ func TestGuardedWrites(t *testing.T) {
 	analysistest.Run(t, "testdata", locksafe.Analyzer, "locksafe_guard")
 }
 
+// TestRecursiveLockedList guards the summary-divergence regression: a
+// method recursing through a self-referential receiver chain (per-node
+// mutexes) must analyze cleanly — and a genuine same-node double lock
+// through the recursive method's summary must still be caught.
+func TestRecursiveLockedList(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "locksafe_rec")
+}
+
 // TestPoolFlightSeededBugs models the pool/flight-map idiom of
 // internal/server and internal/solvecache with three seeded concurrency
 // bugs (blocking send under RLock, lock-free write to a guarded flag, a

@@ -81,3 +81,42 @@ func (s *srv) goOK(ch chan int) {
 	defer s.mu.Unlock()
 	go block(ch) // the goroutine blocks, not the caller
 }
+
+func record(v int) {}
+
+func block2(ch chan int) int {
+	ch <- 1
+	return 0
+}
+
+// The arguments of a deferred call are evaluated at the defer statement,
+// on this goroutine, while the lock is held.
+func (s *srv) deferArgsEvaluatedNow(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer record(<-ch) // want `channel receive while s.mu is held`
+}
+
+// Likewise for go statements: only the spawned call runs elsewhere.
+func (s *srv) goArgsEvaluatedNow(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go record(<-ch) // want `channel receive while s.mu is held`
+}
+
+// A call in a deferred call's argument list runs now, so its blocking
+// summary applies under the lock.
+func (s *srv) deferCallArgBlocks(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer record(block2(ch)) // want `call to block2 \(channel send\) while s.mu is held`
+}
+
+// The deferred call itself still runs at return, after the window: only
+// its immediate operands count.
+func (s *srv) deferCallItselfOK(ch chan int) {
+	s.mu.Lock()
+	s.buf = nil
+	s.mu.Unlock()
+	defer block(ch) // runs at return, with the lock already released
+}

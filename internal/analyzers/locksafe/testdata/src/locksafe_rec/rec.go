@@ -1,0 +1,46 @@
+// Regression for the summary-divergence bug: a recursive method on a
+// self-referential type with a per-node mutex used to grow its
+// receiver-relative lock set every SCC fixpoint round ("mu", "next.mu",
+// "next.next.mu", ...) until the driver gave up and the whole lint run
+// aborted with no findings. The analysis must complete and stay silent —
+// each recursive call locks a different node's mutex.
+package locksafe_rec
+
+import "sync"
+
+type node struct {
+	mu   sync.Mutex
+	next *node
+	v    int
+}
+
+func (n *node) Sum() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.next == nil {
+		return n.v
+	}
+	return n.next.Sum() + n.v
+}
+
+// SumMutual exercises the same shape through a two-method cycle.
+func (n *node) SumMutual() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rest()
+}
+
+func (n *node) rest() int {
+	if n.next == nil {
+		return n.v
+	}
+	return n.next.SumMutual() + n.v
+}
+
+// doubleLockDirect still trips L3 through the summary: the same node's
+// mutex, not the next one's.
+func (n *node) doubleLockDirect() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.Sum() // want `call to Sum acquires n.mu, which is already locked on this path \(deadlock\)`
+}

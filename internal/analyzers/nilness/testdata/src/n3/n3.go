@@ -47,3 +47,18 @@ func callerRefinedOK(p *node) int {
 	}
 	return 0
 }
+
+// derefWhenOtherNil dereferences b only on a's nil branch: the panic needs
+// both parameters nil at once, so b's per-parameter summary bit stays
+// clear and nil-b-alone callers are not flagged.
+func derefWhenOtherNil(a, b *node) int {
+	if a == nil {
+		return b.v
+	}
+	return 0
+}
+
+func callerCoNilOK() int {
+	a := &node{v: 1}
+	return derefWhenOtherNil(a, nil) // clean: the deref also needs a nil
+}
