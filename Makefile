@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos lint lint-stats fix fmt cover bench bench-cache
+.PHONY: all build test race chaos lint lint-stats fix fmt cover bench bench-cache bench-lint
 
 all: build lint test
 
@@ -32,6 +32,12 @@ lint:
 # blowup (the `lint` CI job's lint-stats step).
 lint-stats:
 	timeout 120 $(GO) run ./cmd/dprlelint -stats ./...
+
+# Lint experiment: the full suite over the module plus the strlang fixture
+# drill, with per-analyzer wall time and the solver-call/cache-hit/widening
+# counters, written to BENCH_lint.json (the `lint` CI job's smoke step).
+bench-lint:
+	timeout 180 $(GO) run ./cmd/benchtab -table lint
 
 # Apply dprlelint's suggested fixes (sorted-map-iteration rewrites).
 fix:

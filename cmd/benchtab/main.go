@@ -17,6 +17,9 @@
 //	benchtab -table cache        the solve-cache cold/warm experiment on the
 //	                             fig12 corpus; also writes the report as JSON
 //	                             to -cache-json (default BENCH_cache.json)
+//	benchtab -table lint         the dprlelint suite over the module plus the
+//	                             strlang fixture drill; also writes the report
+//	                             as JSON to -lint-json (default BENCH_lint.json)
 //	benchtab -table all          everything (without -full, secure is skipped)
 //
 // Measured values are printed alongside the published ones so the shape of
@@ -30,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"dprle/internal/core"
 	"dprle/internal/experiments"
@@ -43,13 +47,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		table     = fs.String("table", "all", "fig11, fig12, complexity, or all")
+		table     = fs.String("table", "all", "fig11, fig12, complexity, ablation, cache, lint, or all")
 		full      = fs.Bool("full", false, "include the pathological warp/secure case in fig12")
 		minimize  = fs.Bool("minimize", false, "solve with intermediate-machine minimization (ablation)")
 		timeout   = fs.Duration("timeout", 0, "per-path solve deadline for fig12; exhausted paths are recorded, not fatal (0 = none)")
 		maxStates = fs.Int64("max-states", 0, "per-path cap on NFA states materialized (0 = unlimited)")
 		maxSteps  = fs.Int64("max-steps", 0, "per-path cap on solver checkpoints (0 = unlimited)")
 		cacheJSON = fs.String("cache-json", "BENCH_cache.json", "write the -table cache report to this file as JSON (empty = don't)")
+		lintJSON  = fs.String("lint-json", "BENCH_lint.json", "write the -table lint report to this file as JSON (empty = don't)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -113,6 +118,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	runLint := func() int {
+		root, err := findModuleRoot()
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtab: %v\n", err)
+			return 2
+		}
+		rep, err := experiments.LintExperiment(root)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtab: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, experiments.FormatLint(rep))
+		if *lintJSON != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintf(stderr, "benchtab: %v\n", err)
+				return 2
+			}
+			if err := os.WriteFile(*lintJSON, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(stderr, "benchtab: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *lintJSON)
+		}
+		return 0
+	}
 	runComplexity := func() int {
 		out, err := experiments.ComplexityTable([]int{4, 8, 16, 32, 64})
 		if err != nil {
@@ -134,6 +165,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runAblation()
 	case "cache":
 		return runCache()
+	case "lint":
+		return runLint()
 	case "all":
 		if rc := runFig11(); rc != 0 {
 			return rc
@@ -147,8 +180,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if rc := runCache(); rc != 0 {
 			return rc
 		}
+		if rc := runLint(); rc != 0 {
+			return rc
+		}
 		return runComplexity()
 	}
 	fmt.Fprintf(stderr, "benchtab: unknown table %q\n", *table)
 	return 2
+}
+
+// findModuleRoot walks up from the working directory to the enclosing
+// go.mod, the root the lint experiment loads packages from.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
 }

@@ -145,6 +145,39 @@ func TestSeededNilDerefFails(t *testing.T) {
 	}
 }
 
+// TestSeededSQLInjectionFails proves the string-language gate works end to
+// end: a sqlgen-style query assembled with fmt.Sprintf from unconstrained
+// input (testdata/src/sqlregress) must produce a strlang finding carrying
+// the solver's counterexample — with no //dprle:subset annotation in the
+// fixture, so the detection rests entirely on the built-in sink table —
+// while the digits-only sibling stays unflagged.
+func TestSeededSQLInjectionFails(t *testing.T) {
+	loader := analysis.NewSourceLoader(filepath.Join("testdata", "src"))
+	pkg, err := loader.Load("sqlregress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(pkg, loader.Fset, analyzers.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strlangFindings []analysis.Finding
+	for _, f := range findings {
+		if f.Analyzer == "strlang" {
+			strlangFindings = append(strlangFindings, f)
+		}
+	}
+	if len(strlangFindings) != 1 {
+		t.Fatalf("want exactly one strlang finding (UsersByName flagged, UsersByID clean), got %v", findings)
+	}
+	msg := strlangFindings[0].Message
+	for _, want := range []string{"subset constraint violated", "balanced-sql-quotes", `'`} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("strlang finding %q lacks %q", msg, want)
+		}
+	}
+}
+
 // TestJSONDeterminism is the byte-stability gate for the interprocedural
 // suite: two full -json runs over the module must produce identical bytes.
 // Call-graph SCC order, summary fixpoints, and lockset iteration all use

@@ -1,0 +1,25 @@
+// sqlgen-style seeded regression for the strlang gate: a query built with
+// fmt.Sprintf from unconstrained input reaches database/sql with no
+// annotation anywhere. If the full suite stops flagging this, the
+// string-language analysis has gone dark.
+package sqlregress
+
+import (
+	"database/sql"
+	"fmt"
+)
+
+// UsersByName builds its query by splicing user straight between quotes;
+// the solver refutes containment in the balanced-quote contract and
+// produces the escaping witness.
+func UsersByName(db *sql.DB, user string) (*sql.Rows, error) {
+	q := fmt.Sprintf("select id, name from users where name = '%s' order by id", user)
+	return db.Query(q)
+}
+
+// UsersByID formats only a digit string into the query, which the solver
+// proves balanced: the safe sibling must stay unflagged.
+func UsersByID(db *sql.DB, id int) (*sql.Rows, error) {
+	q := fmt.Sprintf("select id, name from users where id = %d", id)
+	return db.Query(q)
+}

@@ -279,6 +279,14 @@ func (a Assignment) Witnesses() (map[string]string, error) {
 	return core.Witnesses(a.inner)
 }
 
+// ShortestWitness returns the deterministic shortest member of the
+// language assigned to name, with ok=false when that language is empty
+// (including unknown names, which Get resolves to ∅). See
+// Lang.ShortestWitness for the byte-stability guarantee.
+func (a Assignment) ShortestWitness(name string) (string, bool) {
+	return a.Get(name).ShortestWitness()
+}
+
 // Result holds the disjunctive solutions of a Solve call.
 type Result struct {
 	// Assignments are the maximal satisfying assignments found.

@@ -16,6 +16,7 @@ import (
 	"dprle/internal/analyzers/nilness"
 	"dprle/internal/analyzers/panicguard"
 	"dprle/internal/analyzers/sharemut"
+	"dprle/internal/analyzers/strlang"
 )
 
 // All returns every analyzer in the suite, sorted by name.
@@ -30,5 +31,6 @@ func All() []*analysis.Analyzer {
 		nilness.Analyzer,
 		panicguard.Analyzer,
 		sharemut.Analyzer,
+		strlang.Analyzer,
 	}
 }

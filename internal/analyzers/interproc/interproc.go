@@ -33,6 +33,7 @@ import (
 	"dprle/internal/analysis/dataflow"
 	"dprle/internal/analyzers/lintutil"
 	"dprle/internal/analyzers/nilfacts"
+	"dprle/internal/analyzers/strfacts"
 )
 
 // StatDynamicSkips is the Pass.CountStat counter name under which the
@@ -104,6 +105,13 @@ type FuncSummary struct {
 	// GlobalLocks lists package-level mutex variables the function may
 	// acquire. Sorted by name for determinism.
 	GlobalLocks []*types.Var
+	// StringResults[i] is a regular language over-approximating the i-th
+	// result of the function, computed with every parameter unconstrained
+	// (Σ*). Only set when the signature has at least one string-typed
+	// result; non-string entries — and anything the analysis cannot bound
+	// — are Σ*. Consumed by the strlang analyzer to see through helper
+	// calls that assemble strings.
+	StringResults []strfacts.Val
 }
 
 // Info bundles the package call graph with its computed summaries.
@@ -171,10 +179,15 @@ func computeSummaries(info *types.Info, g *callgraph.Graph) ([]FuncSummary, int)
 	// key, possibly re-prefixed along acyclic call chains up to the
 	// maxLockPathSegs cap), so the site count bounds the distinct keys
 	// that can propagate within any one SCC.
-	maxParams, lockSites := 0, 0
+	maxParams, lockSites, maxResults := 0, 0, 0
 	for _, n := range g.Nodes {
-		if sig := n.Type(); sig != nil && sig.Params().Len() > maxParams {
-			maxParams = sig.Params().Len()
+		if sig := n.Type(); sig != nil {
+			if sig.Params().Len() > maxParams {
+				maxParams = sig.Params().Len()
+			}
+			if sig.Results().Len() > maxResults {
+				maxResults = sig.Results().Len()
+			}
 		}
 		for _, site := range n.Sites {
 			if _, ok := MutexMethod(site.Fn); ok {
@@ -182,7 +195,11 @@ func computeSummaries(info *types.Info, g *callgraph.Graph) ([]FuncSummary, int)
 			}
 		}
 	}
-	s := &summarizer{info: info, g: g, height: 3*maxParams + lockSites + len(g.Nodes) + 8}
+	// Each string result rises through at most 2·MaxGen+6 lattice steps
+	// (one per generation and one per language at each generation) before
+	// the strfacts widening pins it at Σ*.
+	strHeight := maxResults * (2*strfacts.MaxGen + 6)
+	s := &summarizer{info: info, g: g, height: 3*maxParams + lockSites + strHeight + len(g.Nodes) + 8}
 	raw, degraded := callgraph.Summaries(g, s)
 	out := make([]FuncSummary, len(raw))
 	for i, r := range raw {
@@ -217,7 +234,7 @@ func (s *summarizer) Equal(a, b callgraph.Summary) bool {
 			return false
 		}
 	}
-	return true
+	return eqStringResults(x.StringResults, y.StringResults)
 }
 
 func eqBools(a, b []bool) bool {
@@ -249,6 +266,7 @@ func (s *summarizer) Summarize(n *callgraph.Node, get func(*callgraph.Node) call
 	s.storesAndBudget(n, params, &sum, getSum)
 	s.blocking(n, &sum, getSum)
 	s.locks(n, &sum, getSum)
+	s.stringResults(n, &sum, getSum)
 	return sum
 }
 

@@ -1,0 +1,138 @@
+// String-language result summaries: for every function whose signature
+// returns a string, the summary records a regular language over-
+// approximating each string result, computed with parameters
+// unconstrained (Σ*). Callers — the strlang analyzer — splice these
+// languages in at call sites, so a query assembled in a helper is as
+// visible as one assembled inline. Summaries flow bottom-up over the
+// call-graph SCCs like every other field of FuncSummary; within an SCC
+// the strfacts generation cap widens recursive growth to Σ*, so the
+// fixpoint converges inside the summarizer's height bound.
+
+package interproc
+
+import (
+	"go/ast"
+
+	"dprle/internal/analysis/callgraph"
+	"dprle/internal/analysis/dataflow"
+	"dprle/internal/analyzers/strfacts"
+)
+
+// stringResults fills sum.StringResults for nodes with string-typed
+// results. Failure modes (unanalyzable body, broken fixpoint) leave the
+// affected entries at Σ* — the no-assumption direction.
+func (s *summarizer) stringResults(n *callgraph.Node, sum *FuncSummary, getSum func(*callgraph.Node) FuncSummary) {
+	sig := n.Type()
+	if sig == nil || n.Body() == nil {
+		return
+	}
+	results := sig.Results()
+	hasString := false
+	for i := 0; i < results.Len(); i++ {
+		if strfacts.IsString(results.At(i).Type()) {
+			hasString = true
+		}
+	}
+	if !hasString {
+		return
+	}
+	fnNode := ast.Node(n.Decl)
+	if n.Lit != nil {
+		fnNode = n.Lit
+	}
+	siteCallee := map[*ast.CallExpr]*callgraph.Node{}
+	for _, site := range n.Sites {
+		if site.Callee != nil && site.Mode == callgraph.Call {
+			siteCallee[site.Call] = site.Callee
+		}
+	}
+	dom := &strfacts.Domain{}
+	lat := &strfacts.Lattice{
+		Info:    s.info,
+		Tracked: strfacts.TrackedStrings(s.info, fnNode, n.Body()),
+		Dom:     dom,
+		Model: func(call *ast.CallExpr, eval func(ast.Expr) strfacts.Val) (strfacts.Val, bool) {
+			callee, ok := siteCallee[call]
+			if !ok {
+				return strfacts.Top(), false
+			}
+			cs := getSum(callee)
+			if len(cs.StringResults) == 1 {
+				return cs.StringResults[0], true
+			}
+			return strfacts.Top(), false
+		},
+	}
+
+	out := make([]strfacts.Val, results.Len()) // zero entries are Σ*
+	seen := false
+	visitReturn := func(ret *ast.ReturnStmt, f *strfacts.Facts) {
+		vals := make([]strfacts.Val, results.Len())
+		switch {
+		case len(ret.Results) == results.Len():
+			for i := range vals {
+				if strfacts.IsString(results.At(i).Type()) {
+					vals[i] = lat.Eval(ret.Results[i], f)
+				}
+			}
+		case len(ret.Results) == 0:
+			// Bare return: named results hold their flow facts.
+			for i := range vals {
+				vals[i] = f.Get(results.At(i))
+			}
+		default:
+			// return f() forwarding a multi-value call: no model, Σ*.
+		}
+		if !seen {
+			copy(out, vals)
+			seen = true
+			return
+		}
+		for i := range out {
+			out[i] = dom.Join(out[i], vals[i])
+		}
+	}
+
+	if len(lat.Tracked) == 0 {
+		// No flow facts to compute: evaluate returns under the empty fact.
+		empty := &strfacts.Facts{}
+		ast.Inspect(n.Body(), func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				visitReturn(m, empty)
+			}
+			return true
+		})
+	} else {
+		g := dataflow.New(n.Body())
+		res, err := dataflow.Solve(g, lat, lat, dataflow.Forward)
+		if err != nil {
+			// Broken fixpoint: no assumptions about any result.
+			sum.StringResults = make([]strfacts.Val, results.Len())
+			return
+		}
+		dataflow.WalkForward(g, lat, lat, res, func(node ast.Node, before dataflow.Fact) {
+			if ret, ok := node.(*ast.ReturnStmt); ok {
+				visitReturn(ret, before.(*strfacts.Facts))
+			}
+		})
+	}
+	sum.StringResults = out
+}
+
+// eqStringResults compares summary string-result vectors as lattice
+// elements: language and generation both count, so a widening marker
+// rising inside an SCC keeps the fixpoint iterating until it propagates.
+func eqStringResults(a, b []strfacts.Val) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].SameLang(b[i]) || a[i].Gen() != b[i].Gen() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+package interproc
+
+import (
+	"testing"
+
+	"dprle/internal/analysis"
+	"dprle/internal/analysis/callgraph"
+	"dprle/internal/analyzers/strfacts"
+)
+
+// loadStrSummaries computes summaries for the strsum fixture, keyed by
+// callgraph node name.
+func loadStrSummaries(t *testing.T) map[string]FuncSummary {
+	t.Helper()
+	l := analysis.NewSourceLoader("testdata/src")
+	pkg, err := l.Load("strsum")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	g := callgraph.Build(pkg.Info, pkg.Files)
+	sums, degraded := computeSummaries(pkg.Info, g)
+	if degraded != 0 {
+		t.Fatalf("computeSummaries degraded %d SCCs, want 0", degraded)
+	}
+	out := map[string]FuncSummary{}
+	for _, n := range g.Nodes {
+		out[n.Name()] = sums[n.ID]
+	}
+	return out
+}
+
+func strResult(t *testing.T, sums map[string]FuncSummary, fn string, i int) strfacts.Val {
+	t.Helper()
+	s, ok := sums[fn]
+	if !ok {
+		t.Fatalf("no summary for %s", fn)
+	}
+	if i >= len(s.StringResults) {
+		t.Fatalf("%s: StringResults has %d entries, want index %d", fn, len(s.StringResults), i)
+	}
+	return s.StringResults[i]
+}
+
+func wantAccepts(t *testing.T, fn string, v strfacts.Val, members ...string) {
+	t.Helper()
+	if v.IsTop() {
+		return
+	}
+	for _, w := range members {
+		if !v.Machine().Accepts(w) {
+			t.Errorf("%s: summary rejects %q", fn, w)
+		}
+	}
+}
+
+func wantRejects(t *testing.T, fn string, v strfacts.Val, nonMembers ...string) {
+	t.Helper()
+	if v.IsTop() {
+		t.Errorf("%s: summary is Σ*, cannot reject %q", fn, nonMembers)
+		return
+	}
+	for _, w := range nonMembers {
+		if v.Machine().Accepts(w) {
+			t.Errorf("%s: summary accepts %q", fn, w)
+		}
+	}
+}
+
+func TestStringResultSummaries(t *testing.T) {
+	sums := loadStrSummaries(t)
+
+	v := strResult(t, sums, "constResult", 0)
+	wantAccepts(t, "constResult", v, "select")
+	wantRejects(t, "constResult", v, "", "insert")
+
+	v = strResult(t, sums, "twoReturns", 0)
+	wantAccepts(t, "twoReturns", v, "a", "b")
+	wantRejects(t, "twoReturns", v, "c", "ab")
+
+	// Parameter is unconstrained, so the summary is 'Σ*' — quotes pinned,
+	// middle free.
+	v = strResult(t, sums, "quoteArg", 0)
+	wantAccepts(t, "quoteArg", v, "'bob'", "''")
+	wantRejects(t, "quoteArg", v, "bob", "'unterminated")
+
+	v = strResult(t, sums, "sprintfHelper", 0)
+	wantAccepts(t, "sprintfHelper", v, "select * from t where name = 'x'")
+	wantRejects(t, "sprintfHelper", v, "select * from t where name = x")
+
+	// viaHelper splices quoteArg's summary in at the call site.
+	v = strResult(t, sums, "viaHelper", 0)
+	wantAccepts(t, "viaHelper", v, "'bob'!")
+	wantRejects(t, "viaHelper", v, "'bob'", "bob!")
+
+	v = strResult(t, sums, "namedResult", 0)
+	wantAccepts(t, "namedResult", v, "xy")
+	wantRejects(t, "namedResult", v, "x", "yx")
+
+	// Non-string results stay at the zero value (Σ*), and the string slot
+	// of a mixed signature is still bounded.
+	s := sums["multiResult"]
+	if len(s.StringResults) != 2 {
+		t.Fatalf("multiResult: StringResults has %d entries, want 2", len(s.StringResults))
+	}
+	wantAccepts(t, "multiResult", s.StringResults[0], "m")
+	wantRejects(t, "multiResult", s.StringResults[0], "n")
+	if !s.StringResults[1].IsTop() {
+		t.Error("multiResult: non-string result slot should be Σ*")
+	}
+
+	// Functions with no string results carry no vector at all.
+	if got := sums["notAString"].StringResults; got != nil {
+		t.Errorf("notAString: StringResults = %v, want nil", got)
+	}
+}
+
+// TestRecursiveStringSummaryWidens checks the SCC fixpoint terminates on
+// mutually recursive string growth by widening instead of diverging: the
+// driver enforces the height bound, so mere convergence (degraded == 0 in
+// the loader) is the property. The result must still cover every concrete
+// iterate.
+func TestRecursiveStringSummaryWidens(t *testing.T) {
+	sums := loadStrSummaries(t)
+	for _, fn := range []string{"growA", "growB"} {
+		v := strResult(t, sums, fn, 0)
+		wantAccepts(t, fn, v, "", "ab", "abab", "ba", "baba")
+	}
+}

@@ -1,0 +1,55 @@
+// Fixture for string-language result summaries: helpers that assemble
+// strings the summarizer must bound, plus recursive shapes that must
+// converge through widening.
+package strsum
+
+import "fmt"
+
+func constResult() string { return "select" }
+
+func twoReturns(cond bool) string {
+	if cond {
+		return "a"
+	}
+	return "b"
+}
+
+func quoteArg(u string) string {
+	return "'" + u + "'"
+}
+
+func sprintfHelper(name string) string {
+	return fmt.Sprintf("select * from t where name = '%s'", name)
+}
+
+func viaHelper(u string) string {
+	return quoteArg(u) + "!"
+}
+
+func namedResult() (q string) {
+	q = "x"
+	q += "y"
+	return
+}
+
+func multiResult() (string, int) {
+	return "m", 1
+}
+
+// Mutually recursive growth: the SCC fixpoint must widen to Σ* rather
+// than diverge.
+func growA(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return "a" + growB(n-1)
+}
+
+func growB(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return "b" + growA(n-1)
+}
+
+func notAString() int { return 3 }

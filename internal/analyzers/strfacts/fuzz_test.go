@@ -1,0 +1,89 @@
+package strfacts
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzStrLattice drives the domain with arbitrary op programs and checks
+// the properties the dataflow fixpoint's termination rests on: every
+// value stays within the generation and size caps, join is idempotent and
+// commutative on languages, and the abstract loop iteration
+// c ← c ⊔ (c · b) stabilizes within the lattice-height bound for any
+// reachable pair of values.
+func FuzzStrLattice(f *testing.F) {
+	f.Add([]byte("ajc"))
+	f.Add([]byte("abjjccss"))
+	f.Add([]byte{'a', 'b', 'j', 'm', 'c', 's', 'j', 'j', 'j', 'j', 'c'})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 64 {
+			return // keep each case cheap; long programs add no new shapes
+		}
+		var d Domain
+		check := func(v Val) Val {
+			if v.Gen() > MaxGen+1 {
+				t.Fatalf("generation %d exceeds cap %d", v.Gen(), MaxGen+1)
+			}
+			if m := v.Machine(); m != nil && m.NumStates() > MaxValStates {
+				t.Fatalf("%d states exceed cap %d", m.NumStates(), MaxValStates)
+			}
+			return v
+		}
+		stack := []Val{d.Lit("seed")}
+		pop := func() Val {
+			v := stack[len(stack)-1]
+			if len(stack) > 1 {
+				stack = stack[:len(stack)-1]
+			}
+			return v
+		}
+		push := func(v Val) { stack = append(stack, check(v)) }
+		for i, op := range program {
+			switch {
+			case op >= 'a' && op <= 'f':
+				push(d.Lit(fmt.Sprintf("%c%d", op, i%7)))
+			case op == 'j':
+				a, b := pop(), pop()
+				j := d.Join(a, b)
+				push(j)
+				if again := d.Join(j, j); !again.SameLang(j) {
+					t.Fatalf("join not idempotent at op %d", i)
+				}
+				if rev := d.Join(b, a); !rev.SameLang(j) {
+					t.Fatalf("join not commutative at op %d", i)
+				}
+			case op == 'c':
+				push(d.Concat(pop(), pop()))
+			case op == 's':
+				push(d.Star(pop()))
+			case op == 'm':
+				refined, feasible := d.Meet(pop(), "a3")
+				if feasible {
+					push(refined)
+				} else {
+					push(d.Lit(""))
+				}
+			case op == 't':
+				push(Top())
+			}
+			if len(stack) > 8 {
+				stack = stack[len(stack)-8:]
+			}
+		}
+
+		// Loop convergence: for the top two derived values, the widening
+		// chain must stabilize within the per-variable height budget.
+		a, b := pop(), pop()
+		c := a
+		for round := 0; ; round++ {
+			if round > 2*MaxGen+6 {
+				t.Fatalf("loop chain failed to stabilize within height bound (gen=%d)", c.Gen())
+			}
+			next := check(d.Join(c, d.Concat(c, b)))
+			if next.SameLang(c) && next.Gen() == c.Gen() {
+				break
+			}
+			c = next
+		}
+	})
+}

@@ -1,0 +1,230 @@
+// Builtin call models: precise languages for the standard-library string
+// constructors the paper's client analysis cares about — fmt.Sprintf and
+// friends become concatenations, strings.Join interleaves its separator,
+// strings.Repeat becomes Kleene star, strconv.Itoa the integer language.
+// Every unmodeled call is Σ*, so models only ever add precision.
+
+package strfacts
+
+import (
+	"go/ast"
+	"sync"
+
+	"dprle/internal/analyzers/lintutil"
+	"dprle/internal/nfa"
+)
+
+// prebuilt holds the small machines the models share.
+var prebuilt = sync.OnceValue(func() *struct {
+	digits, boolean *nfa.NFA
+} {
+	return &struct{ digits, boolean *nfa.NFA }{
+		// -?[0-9]+ — covers every strconv.Itoa / %d rendering.
+		digits: nfa.Concat(nfa.Optional(nfa.Literal("-")),
+			nfa.Plus(nfa.Class(nfa.Range('0', '9')))),
+		boolean: nfa.Union(nfa.Literal("true"), nfa.Literal("false")),
+	}
+})
+
+// callModel resolves a call expression's language: builtin models first,
+// then the pluggable Model hook (interprocedural summaries), then Σ*.
+func (l *Lattice) callModel(call *ast.CallExpr, f *Facts) Val {
+	if callee := lintutil.Callee(l.Info, call); callee != nil && callee.Pkg() != nil {
+		eval := func(e ast.Expr) Val { return l.Eval(e, f) }
+		if v, ok := l.builtinModel(callee.Pkg().Path()+"."+callee.Name(), call, eval); ok {
+			return v
+		}
+	}
+	if l.Model != nil {
+		if v, ok := l.Model(call, func(e ast.Expr) Val { return l.Eval(e, f) }); ok {
+			return v
+		}
+	}
+	return Top()
+}
+
+func (l *Lattice) builtinModel(name string, call *ast.CallExpr, eval func(ast.Expr) Val) (Val, bool) {
+	if call.Ellipsis.IsValid() {
+		return Top(), false // args... spread: arity unknown
+	}
+	switch name {
+	case "fmt.Sprintf":
+		if len(call.Args) == 0 {
+			return Top(), false
+		}
+		format, ok := l.constString(call.Args[0])
+		if !ok {
+			return Top(), true // non-constant format: anything
+		}
+		return l.sprintf(format, call.Args[1:], eval), true
+	case "fmt.Sprint":
+		// Operands are separated by spaces only when neither neighbour is
+		// a string; all-string arguments concatenate exactly.
+		return l.concatStringArgs(call.Args, "", eval)
+	case "fmt.Sprintln":
+		// Operands are always space-separated, with a trailing newline.
+		v, ok := l.concatStringArgs(call.Args, " ", eval)
+		if !ok {
+			return Top(), false
+		}
+		return l.Dom.Concat(v, l.Dom.Lit("\n")), true
+	case "strings.Join":
+		if len(call.Args) != 2 {
+			return Top(), false
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit)
+		if !ok {
+			return Top(), true // dynamic slice: anything
+		}
+		sep := eval(call.Args[1])
+		out := l.Dom.Lit("")
+		for i, el := range lit.Elts {
+			if i > 0 {
+				out = l.Dom.Concat(out, sep)
+			}
+			out = l.Dom.Concat(out, eval(el))
+		}
+		return out, true
+	case "strings.Repeat":
+		if len(call.Args) != 2 {
+			return Top(), false
+		}
+		// Repeat(s, n) ⊆ s* for every n.
+		return l.Dom.Star(eval(call.Args[0])), true
+	case "strconv.Itoa", "strconv.FormatInt":
+		return l.Dom.FromMachine(prebuilt().digits), true
+	case "strconv.FormatBool":
+		return l.Dom.FromMachine(prebuilt().boolean), true
+	case "strconv.Quote":
+		// Whatever the escaping, the result is "…": quoted and therefore
+		// delimiter-safe in the contracts that care.
+		return l.quoted(), true
+	}
+	return Top(), false
+}
+
+// concatStringArgs concatenates the arguments with sep between them,
+// declining (Σ*) when any argument is not string-typed — fmt's spacing
+// rules for mixed operands are not worth modelling.
+func (l *Lattice) concatStringArgs(args []ast.Expr, sep string, eval func(ast.Expr) Val) (Val, bool) {
+	out := l.Dom.Lit("")
+	for i, a := range args {
+		if !IsString(l.typeOf(a)) {
+			return Top(), true
+		}
+		if i > 0 && sep != "" {
+			out = l.Dom.Concat(out, l.Dom.Lit(sep))
+		}
+		out = l.Dom.Concat(out, eval(a))
+	}
+	return out, true
+}
+
+// quoted is the language "Σ*": any double-quoted string.
+func (l *Lattice) quoted() Val {
+	q := l.Dom.Lit(`"`)
+	return l.Dom.Concat(l.Dom.Concat(q, Top()), q)
+}
+
+// sprintf folds a constant format string over its arguments: literal
+// segments stay literal, %s/%v of a string argument splices that
+// argument's language, integer and boolean verbs use their value
+// languages, and anything exotic (padding, explicit indexes, unknown
+// verbs) degrades that segment — or the whole result — to Σ*.
+func (l *Lattice) sprintf(format string, args []ast.Expr, eval func(ast.Expr) Val) Val {
+	out := l.Dom.Lit("")
+	lit := func(s string) { out = l.Dom.Concat(out, l.Dom.Lit(s)) }
+	argIdx := 0
+	i := 0
+	for i < len(format) {
+		c := format[i]
+		if c != '%' {
+			j := i
+			for j < len(format) && format[j] != '%' {
+				j++
+			}
+			lit(format[i:j])
+			i = j
+			continue
+		}
+		i++ // past '%'
+		if i >= len(format) {
+			return Top() // trailing %: fmt renders %!(NOVERB)
+		}
+		// Flags, width, precision: any of them changes spacing/padding in
+		// ways we do not model, so the segment becomes Σ*.
+		exotic := false
+		for i < len(format) && isFlag(format[i]) {
+			exotic = true
+			i++
+		}
+		for i < len(format) && (format[i] == '*' || isDigit(format[i])) {
+			if format[i] == '*' {
+				argIdx++ // width argument
+			}
+			exotic = true
+			i++
+		}
+		if i < len(format) && format[i] == '.' {
+			exotic = true
+			i++
+			for i < len(format) && (format[i] == '*' || isDigit(format[i])) {
+				if format[i] == '*' {
+					argIdx++
+				}
+				i++
+			}
+		}
+		if i >= len(format) {
+			return Top()
+		}
+		if format[i] == '[' {
+			return Top() // explicit argument index: bail out
+		}
+		verb := format[i]
+		i++
+		if verb == '%' {
+			lit("%")
+			continue
+		}
+		if argIdx >= len(args) {
+			return Top() // fmt renders %!verb(MISSING)
+		}
+		arg := args[argIdx]
+		argIdx++
+		if exotic {
+			out = l.Dom.Concat(out, Top())
+			continue
+		}
+		switch verb {
+		case 's', 'v':
+			if IsString(l.typeOf(arg)) {
+				out = l.Dom.Concat(out, eval(arg))
+			} else {
+				out = l.Dom.Concat(out, Top())
+			}
+		case 'd':
+			out = l.Dom.Concat(out, l.Dom.FromMachine(prebuilt().digits))
+		case 't':
+			out = l.Dom.Concat(out, l.Dom.FromMachine(prebuilt().boolean))
+		case 'q':
+			if IsString(l.typeOf(arg)) {
+				out = l.Dom.Concat(out, l.quoted())
+			} else {
+				out = l.Dom.Concat(out, Top())
+			}
+		default:
+			out = l.Dom.Concat(out, Top())
+		}
+	}
+	if argIdx != len(args) {
+		return Top() // extras: fmt appends %!(EXTRA …)
+	}
+	return out
+}
+
+func isFlag(c byte) bool {
+	return c == '+' || c == '-' || c == '#' || c == ' ' || c == '0'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,313 @@
+package strfacts
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"dprle/internal/analysis/dataflow"
+)
+
+func accepts(t *testing.T, v Val, members ...string) {
+	t.Helper()
+	if v.IsTop() {
+		return // Σ* accepts everything
+	}
+	for _, w := range members {
+		if !v.Machine().Accepts(w) {
+			t.Errorf("value rejects %q", w)
+		}
+	}
+}
+
+func rejects(t *testing.T, v Val, nonMembers ...string) {
+	t.Helper()
+	if v.IsTop() {
+		t.Errorf("value is Σ*, cannot reject %q", nonMembers)
+		return
+	}
+	for _, w := range nonMembers {
+		if v.Machine().Accepts(w) {
+			t.Errorf("value accepts %q", w)
+		}
+	}
+}
+
+func TestDomainOps(t *testing.T) {
+	var d Domain
+	a, b := d.Lit("a"), d.Lit("b")
+	j := d.Join(a, b)
+	accepts(t, j, "a", "b")
+	rejects(t, j, "", "ab")
+	if j.Gen() != 1 {
+		t.Fatalf("join of distinct languages has gen %d, want 1", j.Gen())
+	}
+	if again := d.Join(j, j); !again.SameLang(j) || again.Gen() != 1 {
+		t.Fatalf("self-join changed value: gen %d", again.Gen())
+	}
+
+	cat := d.Concat(a, b)
+	accepts(t, cat, "ab")
+	rejects(t, cat, "a", "b", "ba")
+	if cat.Gen() != 0 {
+		t.Fatalf("concat of gen-0 values has gen %d", cat.Gen())
+	}
+
+	star := d.Star(a)
+	accepts(t, star, "", "a", "aaaa")
+	rejects(t, star, "b")
+
+	topCat := d.Concat(Top(), d.Lit("x"))
+	if topCat.IsTop() {
+		t.Fatal("Σ*·x collapsed to Σ* — it should keep the x suffix or widen by gen")
+	}
+}
+
+func TestJoinWidensToTop(t *testing.T) {
+	var d Domain
+	// Joining a strictly growing sequence of distinct languages must hit
+	// Σ* after at most MaxGen+1 rises.
+	v := d.Lit("x0")
+	for i := 1; i <= MaxGen+1; i++ {
+		v = d.Join(v, d.Lit("x"+string(rune('0'+i))))
+	}
+	if !v.IsTop() {
+		t.Fatalf("after %d growing joins, gen=%d, still not Σ*", MaxGen+1, v.Gen())
+	}
+	if d.Widenings == 0 {
+		t.Fatal("widening not counted")
+	}
+}
+
+func TestLoopConcatConverges(t *testing.T) {
+	var d Domain
+	// The abstract effect of `for { s = s + "x" }` at the loop head:
+	// join(head, concat(head, x)) must stabilize within the height bound.
+	head := d.Lit("")
+	x := d.Lit("x")
+	for i := 0; i < MaxGen+3; i++ {
+		next := d.Join(head, d.Concat(head, x))
+		if next.SameLang(head) {
+			return // converged
+		}
+		head = next
+	}
+	t.Fatalf("loop join did not converge within %d rounds (gen=%d)", MaxGen+3, head.Gen())
+}
+
+func TestSizeCapWidens(t *testing.T) {
+	var d Domain
+	long := make([]byte, MaxValStates+8)
+	for i := range long {
+		long[i] = byte('a' + i%3)
+	}
+	if v := d.Lit(string(long)); !v.IsTop() {
+		t.Fatalf("literal with %d states escaped the size cap", len(long)+1)
+	}
+	if d.Widenings == 0 {
+		t.Fatal("size-cap widening not counted")
+	}
+}
+
+func TestMeet(t *testing.T) {
+	var d Domain
+	ab := d.Join(d.Lit("a"), d.Lit("b"))
+	refined, feasible := d.Meet(ab, "a")
+	if !feasible {
+		t.Fatal("a ∈ {a,b}: refinement should be feasible")
+	}
+	accepts(t, refined, "a")
+	rejects(t, refined, "b")
+	if _, feasible := d.Meet(ab, "c"); feasible {
+		t.Fatal("c ∉ {a,b}: refinement should be infeasible")
+	}
+	topRefined, feasible := d.Meet(Top(), "q")
+	if !feasible || topRefined.IsTop() {
+		t.Fatal("meeting Σ* with a literal should give the literal")
+	}
+	accepts(t, topRefined, "q")
+}
+
+// typecheckFunc parses and type-checks src (a complete file) and returns
+// the named function plus the populated type info.
+func typecheckFunc(t *testing.T, src, name string) (*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd, info
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+// solveFunc runs the string lattice to fixpoint over fn and returns the
+// lattice and the facts keyed by block.
+func solveFunc(t *testing.T, fn *ast.FuncDecl, info *types.Info) (*Lattice, *dataflow.CFG, *dataflow.Result) {
+	t.Helper()
+	lat := &Lattice{
+		Info:    info,
+		Tracked: TrackedStrings(info, fn, fn.Body),
+		Dom:     &Domain{},
+	}
+	g := dataflow.New(fn.Body)
+	res, err := dataflow.Solve(g, lat, lat, dataflow.Forward)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return lat, g, res
+}
+
+// factOf finds the language of the variable named v at the return
+// statement's program point.
+func factAtReturn(t *testing.T, lat *Lattice, g *dataflow.CFG, res *dataflow.Result, info *types.Info, v string) Val {
+	t.Helper()
+	var out Val
+	found := false
+	dataflow.WalkForward(g, lat, lat, res, func(n ast.Node, before dataflow.Fact) {
+		if _, ok := n.(*ast.ReturnStmt); !ok || found {
+			return
+		}
+		f := before.(*Facts)
+		for tv := range lat.Tracked {
+			if tv.Name() == v {
+				out = f.Get(tv)
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Fatalf("no return-point fact for %s", v)
+	}
+	return out
+}
+
+func TestTransferStraightLine(t *testing.T) {
+	fn, info := typecheckFunc(t, `package p
+import "fmt"
+func f(user string) string {
+	q := "select * from t where name = '"
+	q = q + user
+	q += "'"
+	id := fmt.Sprintf("%d", 7)
+	_ = id
+	return q
+}`, "f")
+	lat, g, res := solveFunc(t, fn, info)
+	q := factAtReturn(t, lat, g, res, info, "q")
+	if q.IsTop() {
+		t.Fatal("q should be constrained: literal · Σ* · literal")
+	}
+	accepts(t, q, "select * from t where name = 'bob'")
+	rejects(t, q, "bob", "select * from t where name = 'bob")
+	id := factAtReturn(t, lat, g, res, info, "id")
+	accepts(t, id, "7", "-12")
+	rejects(t, id, "x")
+}
+
+func TestTransferBranchJoin(t *testing.T) {
+	fn, info := typecheckFunc(t, `package p
+func f(cond bool) string {
+	s := "a"
+	if cond {
+		s = "b"
+	}
+	return s
+}`, "f")
+	lat, g, res := solveFunc(t, fn, info)
+	s := factAtReturn(t, lat, g, res, info, "s")
+	accepts(t, s, "a", "b")
+	rejects(t, s, "c", "")
+}
+
+func TestBranchRefinement(t *testing.T) {
+	fn, info := typecheckFunc(t, `package p
+func f(mode string) string {
+	s := "x"
+	if mode == "on" {
+		s = mode
+	}
+	return s
+}`, "f")
+	lat, g, res := solveFunc(t, fn, info)
+	s := factAtReturn(t, lat, g, res, info, "s")
+	// On the taken edge mode is exactly "on", so s ∈ {x, on}.
+	accepts(t, s, "x", "on")
+	rejects(t, s, "off")
+}
+
+func TestLoopWidensButTerminates(t *testing.T) {
+	fn, info := typecheckFunc(t, `package p
+func f(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s = s + "ab"
+	}
+	return s
+}`, "f")
+	lat, g, res := solveFunc(t, fn, info)
+	s := factAtReturn(t, lat, g, res, info, "s")
+	// The loop widens s; whatever the final approximation, it must cover
+	// every concrete iterate.
+	accepts(t, s, "", "ab", "abab", "ababab")
+	if lat.Dom.Widenings == 0 && s.IsTop() {
+		t.Fatal("reached Σ* without counting a widening")
+	}
+}
+
+func TestSprintfModel(t *testing.T) {
+	fn, info := typecheckFunc(t, `package p
+import "fmt"
+func f(user string, n int) string {
+	q := fmt.Sprintf("select %s from t where id = %d and ok = %t", user, n, n > 0)
+	return q
+}`, "f")
+	lat, g, res := solveFunc(t, fn, info)
+	q := factAtReturn(t, lat, g, res, info, "q")
+	if q.IsTop() {
+		t.Fatal("Sprintf of constant format should stay structured")
+	}
+	accepts(t, q, "select anything at all from t where id = -4 and ok = false")
+	rejects(t, q, "select x from t where id = y and ok = true",
+		"select x from t where id = 4 and ok = maybe")
+}
+
+func TestJoinModel(t *testing.T) {
+	fn, info := typecheckFunc(t, `package p
+import "strings"
+func f(a string) string {
+	return strings.Join([]string{"x", a, "z"}, ", ")
+}`, "f")
+	lat, g, res := solveFunc(t, fn, info)
+	_ = lat
+	// Evaluate the returned expression directly at the return point.
+	var got Val
+	dataflow.WalkForward(g, lat, lat, res, func(n ast.Node, before dataflow.Fact) {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			got = lat.Eval(ret.Results[0], before.(*Facts))
+		}
+	})
+	if got.IsTop() {
+		t.Fatal("Join of a literal slice should stay structured")
+	}
+	accepts(t, got, "x, whatever, z")
+	rejects(t, got, "x, z", "x whatever z")
+}

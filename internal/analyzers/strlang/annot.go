@@ -1,0 +1,122 @@
+package strlang
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dprle/internal/analyzers/strfacts"
+)
+
+// directivePrefix introduces a parameter contract in a function's doc
+// comment:
+//
+//	//dprle:subset <param> /<pattern>/
+//
+// The pattern uses the solver's regex dialect with preg_match anchoring,
+// so subset contracts are written with explicit ^ and $. The directive has
+// two effects: every in-package call site must prove the argument's
+// language is contained in the pattern's (a caller-side obligation,
+// discharged by the solver), and inside the annotated function the
+// parameter is assumed to satisfy it (the entry fact), so forwarding the
+// parameter to a compatible sink needs no further proof.
+const directivePrefix = "//dprle:subset"
+
+// paramContract binds one annotated parameter to its contract.
+type paramContract struct {
+	arg int        // index in the declared parameter list
+	v   *types.Var // the parameter object, for entry seeding
+	c   *contract
+}
+
+// annotations maps annotated functions to their parameter contracts, in
+// declaration order.
+type annotations map[*types.Func][]paramContract
+
+// collectDirectives parses every //dprle:subset directive in the package.
+// Malformed directives are reported at the function they document — the
+// contract is a caller-visible API statement, so silently ignoring a typo
+// would turn the obligation off without a trace.
+func (ck *checker) collectDirectives() annotations {
+	out := annotations{}
+	for _, file := range ck.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				ck.directivesFor(fd, out)
+			}
+		}
+	}
+	return out
+}
+
+func (ck *checker) directivesFor(fd *ast.FuncDecl, out annotations) {
+	fn, _ := ck.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	malformed := func(reason string) {
+		ck.pass.Reportf(fd.Name.Pos(), "malformed %s directive on %s: %s",
+			directivePrefix, fd.Name.Name, reason)
+	}
+	for _, line := range fd.Doc.List {
+		if !strings.HasPrefix(line.Text, directivePrefix) {
+			continue
+		}
+		rest := strings.TrimSpace(line.Text[len(directivePrefix):])
+		name, spec, _ := strings.Cut(rest, " ")
+		spec = strings.TrimSpace(spec)
+		if name == "" || spec == "" {
+			malformed("want " + directivePrefix + " <param> /<pattern>/")
+			continue
+		}
+		if len(spec) < 2 || !strings.HasPrefix(spec, "/") || !strings.HasSuffix(spec, "/") {
+			malformed("pattern must be enclosed in slashes, got " + spec)
+			continue
+		}
+		pattern := spec[1 : len(spec)-1]
+		pv := paramVar(ck.pass.TypesInfo, fd, name)
+		if pv == nil {
+			malformed("no parameter named " + name)
+			continue
+		}
+		if !strfacts.IsString(pv.Type()) {
+			malformed("parameter " + name + " is not a string")
+			continue
+		}
+		c, err := newContract(directivePrefix[2:]+" "+name, pattern)
+		if err != nil {
+			malformed("pattern /" + pattern + "/: " + err.Error())
+			continue
+		}
+		if fn == nil {
+			continue
+		}
+		out[fn] = append(out[fn], paramContract{arg: paramIndex(fn, pv), v: pv, c: c})
+	}
+}
+
+// paramVar resolves a declared parameter of fd by name.
+func paramVar(info *types.Info, fd *ast.FuncDecl, name string) *types.Var {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				v, _ := info.Defs[id].(*types.Var)
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// paramIndex locates v in fn's signature (receivers excluded, matching the
+// call-site argument list).
+func paramIndex(fn *types.Func, v *types.Var) int {
+	params := fn.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if params.At(i) == v {
+			return i
+		}
+	}
+	return -1
+}

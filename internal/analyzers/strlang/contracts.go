@@ -1,0 +1,104 @@
+package strlang
+
+import (
+	"context"
+	"sync"
+
+	"dprle"
+	"dprle/internal/budget"
+	"dprle/internal/nfa"
+	"dprle/internal/regex"
+)
+
+// contractStates bounds the machines a contract may expand to (the match
+// automaton and its complement). Directive patterns past the bound are
+// rejected with a malformed-directive finding rather than analyzed.
+const contractStates = 1 << 12
+
+// contract is one required language: a sink argument (or annotated
+// parameter) must satisfy L(arg) ⊆ L(contract.m).
+type contract struct {
+	// name labels the contract in diagnostics: a builtin mnemonic
+	// ("balanced-sql-quotes") or "//dprle:subset <param>" for directives.
+	name string
+	// pattern is the source regex, shown in diagnostics.
+	pattern string
+	// m is the contract's match automaton (preg_match semantics: anchor
+	// with ^ and $ for an exact language).
+	m *nfa.NFA
+	// compl is Σ* \ L(m) as a public-API language, the right-hand side of
+	// the violation constraint the solver discharges.
+	compl dprle.Lang
+}
+
+// newContract compiles a pattern into a contract, bounding both the match
+// automaton and its complement so an adversarial directive cannot stall
+// the analyzer.
+func newContract(name, pattern string) (*contract, error) {
+	r, err := regex.Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.MatchLanguage()
+	if err != nil {
+		return nil, err
+	}
+	bud := budget.New(context.Background(), budget.Limits{MaxStates: contractStates})
+	cm, err := nfa.ComplementB(bud, m)
+	if err != nil {
+		return nil, err
+	}
+	compl, err := dprle.UnmarshalLang(cm.Marshal())
+	if err != nil {
+		return nil, err
+	}
+	return &contract{name: name, pattern: pattern, m: m, compl: compl}, nil
+}
+
+func mustContract(name, pattern string) *contract {
+	c, err := newContract(name, pattern)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// A sink is a call whose arg-th argument carries a built-in contract.
+type sink struct {
+	arg int
+	c   *contract
+}
+
+// builtinSinks maps types.Func.FullName to the contract its argument must
+// satisfy. Two built-in contracts:
+//
+//   - balanced-sql-quotes: every ' in a query string opens or closes a SQL
+//     string literal. A query whose language admits an unbalanced quote can
+//     be escaped from inside a literal — the classic injection shape, and
+//     the exact property fmt.Sprintf("... '%s'", v) breaks for
+//     unconstrained v.
+//   - clean-program-path: the program argument of os/exec.Command stays
+//     within path-ish bytes; an unconstrained value can smuggle separators
+//     or control bytes into what the caller believed was a fixed tool name.
+var builtinSinks = sync.OnceValue(func() map[string]sink {
+	sql := mustContract("balanced-sql-quotes", `^([^']|'[^']*')*$`)
+	prog := mustContract("clean-program-path", `^[a-zA-Z0-9_./-]*$`)
+	table := map[string]sink{
+		"os/exec.Command":        {arg: 0, c: prog},
+		"os/exec.CommandContext": {arg: 1, c: prog},
+	}
+	for _, recv := range []string{"DB", "Tx", "Conn"} {
+		for _, meth := range []string{"Query", "QueryRow", "Exec"} {
+			table["(*database/sql."+recv+")."+meth] = sink{arg: 0, c: sql}
+			table["(*database/sql."+recv+")."+meth+"Context"] = sink{arg: 1, c: sql}
+		}
+	}
+	return table
+})
+
+// sinkImports are the packages whose import marks a file as worth
+// analyzing even without //dprle:subset directives.
+var sinkImports = map[string]bool{
+	"database/sql": true,
+	"os/exec":      true,
+}

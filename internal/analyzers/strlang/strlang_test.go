@@ -1,0 +1,33 @@
+package strlang_test
+
+import (
+	"testing"
+
+	"dprle/internal/analysis/analysistest"
+	"dprle/internal/analyzers/strlang"
+)
+
+func TestBasicSinks(t *testing.T) {
+	analysistest.Run(t, "testdata", strlang.Analyzer, "strlang_basic")
+}
+
+// TestSeededSQLInjection is the sqlgen-style seeded defect: a query built
+// with fmt.Sprintf from unconstrained input, flagged purely from the
+// built-in sink table (no annotations in the fixture).
+func TestSeededSQLInjection(t *testing.T) {
+	analysistest.Run(t, "testdata", strlang.Analyzer, "strlang_sql")
+}
+
+func TestSubsetDirectives(t *testing.T) {
+	analysistest.Run(t, "testdata", strlang.Analyzer, "strlang_annot")
+}
+
+// TestAdversarialLoops pins termination: every function widens instead of
+// diverging, and the widened sinks are reported.
+func TestAdversarialLoops(t *testing.T) {
+	analysistest.Run(t, "testdata", strlang.Analyzer, "strlang_loop")
+}
+
+func TestInterprocSummaries(t *testing.T) {
+	analysistest.Run(t, "testdata", strlang.Analyzer, "strlang_interproc")
+}

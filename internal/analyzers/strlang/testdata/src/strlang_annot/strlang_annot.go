@@ -1,0 +1,63 @@
+// //dprle:subset directives: caller-side obligations, callee-side entry
+// assumptions, and malformed-directive findings.
+package strlang_annot
+
+import "database/sql"
+
+// runQuery requires callers to prove their query keeps SQL string
+// literals balanced.
+//
+//dprle:subset q /^([^']|'[^']*')*$/
+func runQuery(q string) string {
+	return q
+}
+
+// forward assumes its contract at entry, so handing the parameter to a
+// sink whose contract it implies needs no further proof.
+//
+//dprle:subset q /^([^']|'[^']*')*$/
+func forward(db *sql.DB, q string) {
+	db.Query(q)
+}
+
+// lower wants a lowercase word.
+//
+//dprle:subset word /^[a-z]+$/
+func lower(word string) string {
+	return word
+}
+
+func callers(db *sql.DB, user string) {
+	runQuery("select 'a' from t")
+	runQuery("x = '" + user + "'") // want `subset constraint violated: argument to runQuery can be .* outside dprle:subset q`
+	forward(db, "select 1")
+	lower("abc")
+	lower("Abc")      // want `subset constraint violated: argument to lower can be "Abc", outside dprle:subset word`
+	lower("a" + user) // want `subset constraint violated: argument to lower can be .* outside dprle:subset word`
+}
+
+// unconstrained has no directive: inside it the parameter is Σ*, so
+// forwarding to an annotated function is an unproven obligation.
+func unconstrained(s string) string {
+	return lower(s) // want `subset constraint violated: argument to lower can be .* outside dprle:subset word`
+}
+
+//dprle:subset nosuch /^a$/
+func badParam(s string) string { // want `malformed //dprle:subset directive on badParam: no parameter named nosuch`
+	return s
+}
+
+//dprle:subset n /^1$/
+func badType(n int) int { // want `malformed //dprle:subset directive on badType: parameter n is not a string`
+	return n
+}
+
+//dprle:subset s ^a$
+func badDelims(s string) string { // want `malformed //dprle:subset directive on badDelims: pattern must be enclosed in slashes`
+	return s
+}
+
+//dprle:subset s /^(a$/
+func badPattern(s string) string { // want `malformed //dprle:subset directive on badPattern: pattern`
+	return s
+}

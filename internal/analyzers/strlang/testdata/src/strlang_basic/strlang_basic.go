@@ -1,0 +1,49 @@
+// Straight-line sink checks: constant and literal-composed queries are
+// proven safe, unconstrained composition is refuted with a witness.
+package strlang_basic
+
+import (
+	"database/sql"
+	"os/exec"
+)
+
+func constQuery(db *sql.DB) {
+	db.Query("select * from t where id = 1")
+	db.Exec("delete from t where name = 'old'")
+}
+
+func literalComposition(db *sql.DB) {
+	name := "bob"
+	q := "select * from t where name = '" + name + "'"
+	db.Query(q)
+}
+
+func injectable(db *sql.DB, user string) {
+	q := "select * from t where name = '" + user + "'"
+	db.Query(q) // want `subset constraint violated: argument to \(\*database/sql\.DB\)\.Query can be .* outside balanced-sql-quotes`
+}
+
+func branches(db *sql.DB, newest bool) {
+	q := "select * from t order by name"
+	if newest {
+		q = "select * from t order by ctime"
+	}
+	db.Query(q)
+}
+
+func refinement(db *sql.DB, col string) {
+	q := "select * from t"
+	if col == "name" {
+		q = "select * from t order by " + col
+	}
+	db.Query(q)
+}
+
+func execClean() {
+	exec.Command("ls", "-l")
+	exec.Command("/usr/bin/env", "true")
+}
+
+func execTainted(tool string) {
+	exec.Command("helper-" + tool) // want `subset constraint violated: argument to os/exec\.Command can be .* outside clean-program-path`
+}

@@ -1,0 +1,48 @@
+// Interprocedural string summaries: queries assembled in same-package
+// helpers are as visible as inline ones, and mutual recursion through the
+// summary SCC terminates by widening.
+package strlang_interproc
+
+import (
+	"database/sql"
+	"fmt"
+)
+
+func constQuery() string {
+	return "select id from t where ok = 'y'"
+}
+
+func quoteName(name string) string {
+	return fmt.Sprintf("name = '%s'", name)
+}
+
+// helperClean is provable only through the summary of constQuery: without
+// it the call result would be Σ* and the sink would be unprovable.
+func helperClean(db *sql.DB) {
+	db.Query(constQuery())
+}
+
+func helperInjected(db *sql.DB, user string) {
+	db.Query("select * from t where " + quoteName(user)) // want `subset constraint violated: argument to \(\*database/sql\.DB\)\.Query`
+}
+
+// Mutual recursion: the SCC fixpoint widens the summaries to Σ* instead
+// of diverging, and the widened result is honestly unprovable at the sink
+// (odd nestings of alt really do unbalance the quotes).
+func alt(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return "a'" + alt2(n-1)
+}
+
+func alt2(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return "b" + alt(n-1)
+}
+
+func recursive(db *sql.DB, n int) {
+	db.Query(alt(n)) // want `subset constraint violated: argument to \(\*database/sql\.DB\)\.Query`
+}

@@ -1,0 +1,33 @@
+// Adversarial loop shapes: every analysis here must terminate through
+// widening, and a widened (Σ*) query can never be proven balanced.
+package strlang_loop
+
+import "database/sql"
+
+func grownInLoop(db *sql.DB, names []string) {
+	q := "select * from t where name in ("
+	for _, n := range names {
+		q += "'" + n + "',"
+	}
+	q += "'x')"
+	db.Query(q) // want `subset constraint violated: argument to \(\*database/sql\.DB\)\.Query`
+}
+
+func doublyNested(db *sql.DB, rows, cols int) {
+	q := "q"
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			q += "." + q
+		}
+		q += ";"
+	}
+	db.Query(q) // want `subset constraint violated: argument to \(\*database/sql\.DB\)\.Query`
+}
+
+func selfAppend(db *sql.DB, n int) {
+	s := "'"
+	for i := 0; i < n; i++ {
+		s += s
+	}
+	db.Query(s) // want `subset constraint violated: argument to \(\*database/sql\.DB\)\.Query`
+}

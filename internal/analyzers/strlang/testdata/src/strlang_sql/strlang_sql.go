@@ -1,0 +1,39 @@
+// sqlgen-style query builder with a seeded injection defect: the query is
+// assembled with fmt.Sprintf from an unconstrained input and reaches a
+// built-in sink with no annotation anywhere — the finding comes entirely
+// from the sink table and the solver.
+package strlang_sql
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"strconv"
+)
+
+func byName(db *sql.DB, user string) (*sql.Rows, error) {
+	q := fmt.Sprintf("select id, name from users where name = '%s' limit 10", user)
+	return db.Query(q) // want `subset constraint violated: argument to \(\*database/sql\.DB\)\.Query can be .* outside balanced-sql-quotes`
+}
+
+func byID(db *sql.DB, id int) (*sql.Rows, error) {
+	// %s over strconv.Itoa is a digit string: it cannot unbalance quotes.
+	q := fmt.Sprintf("select id, name from users where id = %s", strconv.Itoa(id))
+	return db.Query(q)
+}
+
+func byIDVerb(db *sql.DB, id int) (*sql.Rows, error) {
+	q := fmt.Sprintf("select id, name from users where id = %d and ok = %t", id, true)
+	return db.Query(q)
+}
+
+func byNameCtx(ctx context.Context, db *sql.DB, user string) (*sql.Rows, error) {
+	q := fmt.Sprintf("update users set seen = 1 where name = '%s'", user)
+	return db.QueryContext(ctx, q) // want `subset constraint violated: argument to \(\*database/sql\.DB\)\.QueryContext can be .* outside balanced-sql-quotes`
+}
+
+func inTx(tx *sql.Tx, user string) error {
+	q := "delete from users where name = '" + user + "'"
+	_, err := tx.Exec(q) // want `subset constraint violated: argument to \(\*database/sql\.Tx\)\.Exec can be .* outside balanced-sql-quotes`
+	return err
+}

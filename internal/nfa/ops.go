@@ -336,56 +336,101 @@ func (m *NFA) Induce(start, final int) *NFA {
 	return c.Trim()
 }
 
-// ShortestWitness returns a shortest string in L(m). It reports ok=false when
-// the language is empty. Ties are broken toward the smallest byte value, so
-// witnesses are deterministic.
+// ShortestWitness returns the shortest string in L(m), and among the
+// shortest the lexicographically smallest. It reports ok=false when the
+// language is empty. The choice depends only on the language, not on the
+// machine's structure, so equivalent machines — however constructed —
+// yield byte-identical witnesses.
 func (m *NFA) ShortestWitness() (string, bool) {
-	type node struct {
-		state int
-		prev  int // index into nodes, -1 for roots
-		by    byte
-		str   bool // whether `by` is a real byte (false for ε/root)
+	// Minimal byte-distance from each state to final: 0/1 BFS over the
+	// reversed machine, ε-edges costing 0 and labelled edges 1.
+	const inf = int(^uint(0) >> 1)
+	n := m.NumStates()
+	type rev struct {
+		from   int
+		byByte bool
 	}
-	visited := make([]bool, m.NumStates())
-	var nodes []node
-	var queue []int
-	push := func(s, prev int, by byte, isByte bool) {
-		if visited[s] {
-			return
-		}
-		visited[s] = true
-		nodes = append(nodes, node{state: s, prev: prev, by: by, str: isByte})
-		queue = append(queue, len(nodes)-1)
-	}
-	push(m.start, -1, 0, false)
-	for qi := 0; qi < len(queue); qi++ {
-		idx := queue[qi]
-		s := nodes[idx].state
-		if s == m.final {
-			// Reconstruct.
-			var rev []byte
-			for i := idx; i >= 0; i = nodes[i].prev {
-				if nodes[i].str {
-					rev = append(rev, nodes[i].by)
-				}
-			}
-			for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
-				rev[l], rev[r] = rev[r], rev[l]
-			}
-			return string(rev), true
-		}
-		// ε-edges first: they do not lengthen the witness, and BFS layers
-		// remain correct because ε keeps us in the same layer.
+	radj := make([][]rev, n)
+	for s := 0; s < n; s++ {
 		for _, e := range m.eps[s] {
-			push(e.To, idx, 0, false)
+			radj[e.To] = append(radj[e.To], rev{from: s})
 		}
 		for _, e := range m.edges[s] {
-			if b, ok := e.Label.Min(); ok {
-				push(e.To, idx, b, true)
+			if !e.Label.IsEmpty() {
+				radj[e.To] = append(radj[e.To], rev{from: s, byByte: true})
 			}
 		}
 	}
-	return "", false
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[m.final] = 0
+	deque := make([]int, 0, n)
+	deque = append(deque, m.final)
+	for len(deque) > 0 {
+		v := deque[0]
+		deque = deque[1:]
+		for _, r := range radj[v] {
+			d := dist[v]
+			if r.byByte {
+				d++
+			}
+			if d < dist[r.from] {
+				dist[r.from] = d
+				if r.byByte {
+					deque = append(deque, r.from)
+				} else {
+					deque = append([]int{r.from}, deque...)
+				}
+			}
+		}
+	}
+
+	minDist := func(set []bool) int {
+		d := inf
+		for s, in := range set {
+			if in && dist[s] < d {
+				d = dist[s]
+			}
+		}
+		return d
+	}
+
+	// Greedy walk over the on-the-fly subset construction: at each step
+	// take the smallest byte that still lies on a shortest path.
+	set := m.startClosure()
+	remaining := minDist(set)
+	if remaining == inf {
+		return "", false
+	}
+	out := make([]byte, 0, remaining)
+	for ; remaining > 0; remaining-- {
+		avail := EmptySet()
+		for s, in := range set {
+			if !in {
+				continue
+			}
+			for _, e := range m.edges[s] {
+				avail = avail.Union(e.Label)
+			}
+		}
+		advanced := false
+		for _, b := range avail.Bytes() {
+			next := m.step(set, b)
+			if minDist(next) == remaining-1 {
+				out = append(out, b)
+				set = next
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			// Unreachable when dist is consistent; fail closed.
+			return "", false
+		}
+	}
+	return string(out), true
 }
 
 // Enumerate returns accepted strings of length ≤ maxLen, up to maxCount of

@@ -125,8 +125,18 @@ func (l Lang) Accepts(w string) bool { return l.machine().Accepts(w) }
 // IsEmpty reports whether the language is ∅.
 func (l Lang) IsEmpty() bool { return l.machine().IsEmpty() }
 
-// Witness returns a shortest member of the language.
+// Witness returns a shortest member of the language. It is shorthand for
+// ShortestWitness, kept for compatibility.
 func (l Lang) Witness() (string, bool) { return l.machine().ShortestWitness() }
+
+// ShortestWitness returns a shortest member of the language, or ok=false
+// for ∅. The choice is deterministic: among equal-length candidates the
+// breadth-first search always prefers the smallest byte at each position,
+// so a given language yields byte-identical witnesses across runs,
+// processes, and machine representations (a Lang and its
+// Marshal/UnmarshalLang or Minimize round-trip agree). Counterexamples
+// reported from it are therefore stable enough to assert on in tests.
+func (l Lang) ShortestWitness() (string, bool) { return l.machine().ShortestWitness() }
 
 // Enumerate lists members of length ≤ maxLen, up to maxCount, shortest
 // first.

@@ -1,0 +1,120 @@
+package dprle_test
+
+import (
+	"testing"
+
+	"dprle"
+)
+
+// TestShortestWitnessGolden pins exact witness bytes for a few languages:
+// the accessor promises determinism, so these must never drift.
+func TestShortestWitnessGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		lang dprle.Lang
+		want string
+	}{
+		{"literal", dprle.LitLang("abc"), "abc"},
+		{"epsilon", dprle.LitLang(""), ""},
+		{"class-pair", dprle.MustRegexLang(`[a-c][a-c]`), "aa"},
+		{"alternation", dprle.MustRegexLang(`zz|b|yyy`), "b"},
+		{"smallest-byte-tie", dprle.MustRegexLang(`c|a|b`), "a"},
+		{"digits", dprle.MustRegexLang(`-?[0-9][0-9]*`), "0"},
+		{"match-quote", dprle.MustMatchLang(`'`), "'"},
+		{"star-prefix", dprle.MustRegexLang(`x*yz`), "yz"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := tc.lang.ShortestWitness()
+			if !ok || got != tc.want {
+				t.Fatalf("ShortestWitness() = %q, %v; want %q, true", got, ok, tc.want)
+			}
+			if w, wok := tc.lang.Witness(); !wok || w != got {
+				t.Fatalf("Witness() = %q, %v disagrees with ShortestWitness %q", w, wok, got)
+			}
+		})
+	}
+	if w, ok := dprle.EmptyLang().ShortestWitness(); ok {
+		t.Fatalf("empty language produced witness %q", w)
+	}
+}
+
+// TestShortestWitnessByteStability checks the witness survives every
+// representation change byte-for-byte: minimization, a Marshal round-trip,
+// and self-union all describe the same language, so they must all report
+// the same shortest member, repeatedly.
+func TestShortestWitnessByteStability(t *testing.T) {
+	langs := map[string]dprle.Lang{
+		"keyword-set": dprle.MustRegexLang(`select|insert|update|delete`),
+		"quoted":      dprle.MustRegexLang(`'[^']*'`),
+		"id":          dprle.MustMatchLang(`^[a-zA-Z_][a-zA-Z0-9_]*$`),
+		"any":         dprle.AnyLang(),
+	}
+	for name, l := range langs {
+		t.Run(name, func(t *testing.T) {
+			base, ok := l.ShortestWitness()
+			if !ok {
+				t.Fatal("language unexpectedly empty")
+			}
+			forms := map[string]dprle.Lang{
+				"minimized":  l.Minimize(),
+				"self-union": l.Union(l),
+			}
+			rt, err := dprle.UnmarshalLang(l.Marshal())
+			if err != nil {
+				t.Fatalf("Marshal round-trip: %v", err)
+			}
+			forms["round-trip"] = rt
+			for i := 0; i < 5; i++ {
+				if w, ok := l.ShortestWitness(); !ok || w != base {
+					t.Fatalf("repeat %d: witness drifted: %q vs %q", i, w, base)
+				}
+				for form, fl := range forms {
+					if w, ok := fl.ShortestWitness(); !ok || w != base {
+						t.Fatalf("%s witness %q != base %q", form, w, base)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAssignmentShortestWitness drives the package-doc exploit system
+// through repeated solves and pins the assignment-level accessor: same
+// bytes every time, consistent with Witnesses(), absent names empty.
+func TestAssignmentShortestWitness(t *testing.T) {
+	solveOnce := func() (dprle.Assignment, string) {
+		sys := dprle.NewSystem()
+		sys.MustRequire(dprle.V("input"), "filter", dprle.MustMatchLang(`[\d]+$`))
+		sys.MustRequire(dprle.Concat(sys.Lit("nid_"), dprle.V("input")), "unsafe",
+			dprle.MustMatchLang(`'`))
+		res, err := sys.Solve(dprle.Options{})
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		if !res.Sat() {
+			t.Fatal("expected a satisfying assignment")
+		}
+		a := res.First()
+		w, ok := a.ShortestWitness("input")
+		if !ok {
+			t.Fatal("input language empty")
+		}
+		return a, w
+	}
+
+	first, base := solveOnce()
+	if all, err := first.Witnesses(); err != nil {
+		t.Fatalf("Witnesses: %v", err)
+	} else if all["input"] != base {
+		t.Fatalf("Witnesses()[input] = %q, ShortestWitness = %q", all["input"], base)
+	}
+	for i := 0; i < 3; i++ {
+		if _, w := solveOnce(); w != base {
+			t.Fatalf("solve %d: witness drifted: %q vs %q", i, w, base)
+		}
+	}
+	if w, ok := first.ShortestWitness("no-such-var"); ok {
+		t.Fatalf("unknown variable produced witness %q", w)
+	}
+}
