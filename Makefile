@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos lint lint-stats fix fmt cover bench bench-cache bench-lint
+.PHONY: all build test race chaos lint lint-stats fix fmt cover bench bench-cache bench-hotpath bench-lint
 
 all: build lint test
 
@@ -54,7 +54,14 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # Cache smoke: corpus-wide cached≡uncached equivalence (witnesses verified),
-# the >=10x warm-speedup bound, and the cold/warm benchmarks, one iteration
+# the >=3x warm-speedup bound, and the cold/warm benchmarks, one iteration
 # each (the `bench-cache` CI job). Fails on any cache-correctness assertion.
 bench-cache:
 	$(GO) test -bench='BenchmarkCache' -benchtime=1x -run 'TestCacheCorpus' -v .
+
+# Hot-path substrate experiment (DESIGN.md §11): steady-state wall time and
+# allocations for the five NFA hot-path workloads, read against the frozen
+# pre-rework baseline carried inside BENCH_hotpath.json and rewritten in
+# place. Bounded so a pathological regression fails instead of hanging CI.
+bench-hotpath:
+	timeout 300 $(GO) run ./cmd/benchtab -table hotpath

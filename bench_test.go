@@ -37,6 +37,7 @@ import (
 // BenchmarkFigure4CI runs the paper's Fig. 3 algorithm on the Fig. 4 inputs:
 // c1 = "nid_", c2 = Σ*[0-9], c3 = Σ*'Σ*.
 func BenchmarkFigure4CI(b *testing.B) {
+	b.ReportAllocs()
 	c1 := nfa.Minimized(nfa.Literal("nid_"))
 	c2 := nfa.Minimized(regex.MustMatchLanguage(`[\d]+$`))
 	c3 := nfa.Minimized(regex.MustMatchLanguage(`'`))
@@ -51,6 +52,7 @@ func BenchmarkFigure4CI(b *testing.B) {
 
 // BenchmarkSection311 solves the inherently disjunctive example of §3.1.1.
 func BenchmarkSection311(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sys := dprle.NewSystem()
 		sys.MustRequire(dprle.V("v1"), "c1", dprle.MustRegexLang("x(yy)+"))
@@ -70,6 +72,7 @@ func BenchmarkSection311(b *testing.B) {
 // BenchmarkFigure9GCI solves the mutually dependent concatenations of
 // Fig. 9/10.
 func BenchmarkFigure9GCI(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sys := dprle.NewSystem()
 		sys.MustRequire(dprle.V("va"), "cva", dprle.MustRegexLang("o(pp)+"))
@@ -94,9 +97,11 @@ func BenchmarkFigure9GCI(b *testing.B) {
 // the measured |FG|, |C|, and the solve time that corresponds to the
 // published TS column.
 func BenchmarkFig12(b *testing.B) {
+	b.ReportAllocs()
 	for _, d := range corpus.Defects() {
 		d := d
 		b.Run(d.App+"/"+d.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			if d.Big && testing.Short() {
 				b.Skip("warp/secure takes minutes by design (paper: 577 s); run without -short")
 			}
@@ -121,6 +126,7 @@ func BenchmarkFig12(b *testing.B) {
 // BenchmarkFig11Generation measures generating the three application trees
 // of the data-set table.
 func BenchmarkFig11Generation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Figure11()
 		if err != nil {
@@ -138,9 +144,11 @@ var sweepSizes = []int{4, 8, 16, 32, 64}
 // BenchmarkCIStateSweep measures a single concat_intersect as input machine
 // size grows; the product machine is O(Q²) and solutions O(Q).
 func BenchmarkCIStateSweep(b *testing.B) {
+	b.ReportAllocs()
 	for _, q := range sweepSizes {
 		q := q
 		b.Run(fmt.Sprintf("Q=%d", q), func(b *testing.B) {
+			b.ReportAllocs()
 			var p experiments.ComplexityPoint
 			for i := 0; i < b.N; i++ {
 				p = experiments.CISweep(q)
@@ -158,9 +166,11 @@ var chainedSweepSizes = []int{4, 8, 12, 16}
 // BenchmarkChainedCI measures the chained system of §3.5 (two inductive
 // concat_intersect applications).
 func BenchmarkChainedCI(b *testing.B) {
+	b.ReportAllocs()
 	for _, q := range chainedSweepSizes {
 		q := q
 		b.Run(fmt.Sprintf("Q=%d", q), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.ChainedSweep(q); err != nil {
 					b.Fatal(err)
@@ -173,9 +183,11 @@ func BenchmarkChainedCI(b *testing.B) {
 // BenchmarkExtraSubset measures the doubly constrained concatenation of
 // §3.5.
 func BenchmarkExtraSubset(b *testing.B) {
+	b.ReportAllocs()
 	for _, q := range chainedSweepSizes {
 		q := q
 		b.Run(fmt.Sprintf("Q=%d", q), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.ExtraSubsetSweep(q); err != nil {
 					b.Fatal(err)
@@ -191,6 +203,7 @@ func BenchmarkExtraSubset(b *testing.B) {
 // prototype's verbatim tracking), and intermediate-machine minimization
 // (the improvement the paper speculates about for the secure case).
 func BenchmarkAblation(b *testing.B) {
+	b.ReportAllocs()
 	d, ok := corpus.DefectByName("utopia/styles")
 	if !ok {
 		b.Fatal("defect missing")
@@ -207,6 +220,7 @@ func BenchmarkAblation(b *testing.B) {
 	for _, cfg := range configs {
 		cfg := cfg
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				row, err := experiments.RunDefect(d, cfg.opts)
 				if err != nil {
@@ -229,6 +243,7 @@ func benchMachines(q int) (*nfa.NFA, *nfa.NFA) {
 }
 
 func BenchmarkNFAIntersect(b *testing.B) {
+	b.ReportAllocs()
 	a, c := benchMachines(32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -237,6 +252,7 @@ func BenchmarkNFAIntersect(b *testing.B) {
 }
 
 func BenchmarkNFADeterminize(b *testing.B) {
+	b.ReportAllocs()
 	a, _ := benchMachines(32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -245,6 +261,7 @@ func BenchmarkNFADeterminize(b *testing.B) {
 }
 
 func BenchmarkNFAMinimize(b *testing.B) {
+	b.ReportAllocs()
 	a, _ := benchMachines(32)
 	d := nfa.Determinize(a)
 	b.ResetTimer()
@@ -254,6 +271,7 @@ func BenchmarkNFAMinimize(b *testing.B) {
 }
 
 func BenchmarkNFAComplement(b *testing.B) {
+	b.ReportAllocs()
 	a, _ := benchMachines(32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -262,6 +280,7 @@ func BenchmarkNFAComplement(b *testing.B) {
 }
 
 func BenchmarkNFASubset(b *testing.B) {
+	b.ReportAllocs()
 	a, c := benchMachines(16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -272,12 +291,14 @@ func BenchmarkNFASubset(b *testing.B) {
 }
 
 func BenchmarkRegexCompile(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		regex.MustCompile(`^(GET|POST)[ ]+[\w\/.?=&%-]+[ ]+HTTP\/1\.[01]$`)
 	}
 }
 
 func BenchmarkMatchLanguage(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		regex.MustMatchLanguage(`[\d]+$`)
 	}
@@ -287,6 +308,7 @@ func BenchmarkMatchLanguage(b *testing.B) {
 // the motivating system (the stage the solver adds beyond the paper's
 // structural construction).
 func BenchmarkMaximalize(b *testing.B) {
+	b.ReportAllocs()
 	mk := func() (*core.System, core.Assignment) {
 		s := core.NewSystem()
 		c1 := s.MustConst("c1", regex.MustMatchLanguage(`[\d]+$`))
@@ -314,6 +336,7 @@ func BenchmarkMaximalize(b *testing.B) {
 // BenchmarkQuotients measures the MaxMiddle construction the maximality
 // checker and fixpoint are built on.
 func BenchmarkQuotients(b *testing.B) {
+	b.ReportAllocs()
 	pre := nfa.Literal("SELECT * FROM news WHERE newsid=nid_")
 	post := nfa.Epsilon()
 	c := regex.MustMatchLanguage(`'`)
@@ -329,6 +352,7 @@ func BenchmarkQuotients(b *testing.B) {
 // BenchmarkSolveForPartial compares partial solving against a full solve on
 // a system with one relevant and many irrelevant constraint groups.
 func BenchmarkSolveForPartial(b *testing.B) {
+	b.ReportAllocs()
 	mk := func() *dprle.System {
 		sys := dprle.NewSystem()
 		sys.MustRequire(dprle.V("target"), "tfilter", dprle.MustMatchLang(`[\d]+$`))
@@ -344,6 +368,7 @@ func BenchmarkSolveForPartial(b *testing.B) {
 		return sys
 	}
 	b.Run("solve-for-target", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := mk().SolveFor([]string{"target"}, dprle.Options{})
 			if err != nil || !res.Sat() {
@@ -352,6 +377,7 @@ func BenchmarkSolveForPartial(b *testing.B) {
 		}
 	})
 	b.Run("full-solve", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := mk().Solve(dprle.Options{})
 			if err != nil || !res.Sat() {

@@ -20,6 +20,13 @@
 //	benchtab -table lint         the dprlelint suite over the module plus the
 //	                             strlang fixture drill; also writes the report
 //	                             as JSON to -lint-json (default BENCH_lint.json)
+//	benchtab -table hotpath      the NFA hot-path workloads (product chains,
+//	                             induce loop, determinize, DFA membership,
+//	                             corpus solve) with wall time and allocation
+//	                             counts; compares against the frozen baseline
+//	                             in -hotpath-baseline and writes the combined
+//	                             report to -hotpath-json (default
+//	                             BENCH_hotpath.json for both)
 //	benchtab -table all          everything (without -full, secure is skipped)
 //
 // Measured values are printed alongside the published ones so the shape of
@@ -47,7 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		table     = fs.String("table", "all", "fig11, fig12, complexity, ablation, cache, lint, or all")
+		table     = fs.String("table", "all", "fig11, fig12, complexity, ablation, cache, lint, hotpath, or all")
 		full      = fs.Bool("full", false, "include the pathological warp/secure case in fig12")
 		minimize  = fs.Bool("minimize", false, "solve with intermediate-machine minimization (ablation)")
 		timeout   = fs.Duration("timeout", 0, "per-path solve deadline for fig12; exhausted paths are recorded, not fatal (0 = none)")
@@ -55,6 +62,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxSteps  = fs.Int64("max-steps", 0, "per-path cap on solver checkpoints (0 = unlimited)")
 		cacheJSON = fs.String("cache-json", "BENCH_cache.json", "write the -table cache report to this file as JSON (empty = don't)")
 		lintJSON  = fs.String("lint-json", "BENCH_lint.json", "write the -table lint report to this file as JSON (empty = don't)")
+		hotJSON   = fs.String("hotpath-json", "BENCH_hotpath.json", "write the -table hotpath report to this file as JSON (empty = don't)")
+		hotBase   = fs.String("hotpath-baseline", "BENCH_hotpath.json", "read the frozen hotpath baseline from this file (empty = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -144,6 +153,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	runHotpath := func() int {
+		baseline := loadHotpathBaseline(*hotBase)
+		rep, err := experiments.HotpathExperiment(!*full)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtab: %v\n", err)
+			return 2
+		}
+		file := experiments.CompareHotpath(baseline, rep)
+		fmt.Fprintln(stdout, experiments.FormatHotpath(file))
+		if *hotJSON != "" {
+			data, err := json.MarshalIndent(file, "", "  ")
+			if err != nil {
+				fmt.Fprintf(stderr, "benchtab: %v\n", err)
+				return 2
+			}
+			if err := os.WriteFile(*hotJSON, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(stderr, "benchtab: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *hotJSON)
+		}
+		return 0
+	}
 	runComplexity := func() int {
 		out, err := experiments.ComplexityTable([]int{4, 8, 16, 32, 64})
 		if err != nil {
@@ -167,6 +199,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runCache()
 	case "lint":
 		return runLint()
+	case "hotpath":
+		return runHotpath()
 	case "all":
 		if rc := runFig11(); rc != 0 {
 			return rc
@@ -183,10 +217,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if rc := runLint(); rc != 0 {
 			return rc
 		}
+		if rc := runHotpath(); rc != 0 {
+			return rc
+		}
 		return runComplexity()
 	}
 	fmt.Fprintf(stderr, "benchtab: unknown table %q\n", *table)
 	return 2
+}
+
+// loadHotpathBaseline reads the frozen hot-path baseline from path: either
+// a full BENCH_hotpath.json (whose baseline section, or failing that its
+// current section, is the baseline) or a bare report. A missing or
+// unparseable file just means "no baseline" — the experiment still runs.
+func loadHotpathBaseline(path string) *experiments.HotpathReport {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var f experiments.HotpathFile
+	if err := json.Unmarshal(data, &f); err == nil {
+		if f.Baseline != nil && len(f.Baseline.Rows) > 0 {
+			return f.Baseline
+		}
+		if len(f.Current.Rows) > 0 {
+			return &f.Current
+		}
+	}
+	var r experiments.HotpathReport
+	if err := json.Unmarshal(data, &r); err == nil && len(r.Rows) > 0 {
+		return &r
+	}
+	return nil
 }
 
 // findModuleRoot walks up from the working directory to the enclosing

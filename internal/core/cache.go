@@ -180,7 +180,7 @@ func storeGroup(cache *solvecache.Cache, key string, group []int, sols []map[int
 		for id := range sol {
 			ids = append(ids, id)
 		}
-		sortInts(ids)
+		sort.Ints(ids)
 		m := make(map[int]*nfa.NFA, len(sol))
 		for _, id := range ids {
 			li, ok := idx[id]

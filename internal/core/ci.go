@@ -70,11 +70,15 @@ func concatIntersectB(bud *budget.Budget, c1, c2, c3 *nfa.NFA) ([]CISolution, *C
 		if err := bud.Check("ci.seams"); err != nil {
 			return out, trace, err
 		}
+		// Induce returns O(1) views; emptiness on a view early-exits, so
+		// dead seams cost no copies at all. Trim only the survivors — the
+		// solutions handed to callers stay structurally minimal.
 		v1 := m5.Induce(m5.Start(), seam.From) // induce_from_final(M5, q_a)
 		v2 := m5.Induce(seam.To, m5.Final())   // induce_from_start(M5, q_b)
 		if v1.IsEmpty() || v2.IsEmpty() {
 			continue
 		}
+		v1, v2 = v1.Trim(), v2.Trim()
 		key, keyed := seamKey(bud, v1, v2, si)
 		if keyed && seen[key] {
 			continue

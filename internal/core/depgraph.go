@@ -197,21 +197,13 @@ func (g *Graph) CIGroups() [][]int {
 	}
 	var out [][]int
 	for _, m := range members {
-		sortInts(m)
+		sort.Ints(m)
 		out = append(out, m)
 	}
 	// Deterministic order by first member (each group's members are sorted,
 	// so out[i][0] is the group's least node ID).
 	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
 	return out
-}
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }
 
 // FreeVars returns the variable nodes not involved in any concatenation;

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"dprle/internal/budget"
 	"dprle/internal/faultinject"
@@ -451,7 +452,7 @@ func (s *gciSolver) evalCombo(roots []*rootInfo, combo comboChoice, occs map[int
 	for varID := range occs {
 		varIDs = append(varIDs, varID)
 	}
-	sortInts(varIDs)
+	sort.Ints(varIDs)
 	for _, varID := range varIDs {
 		os := occs[varID]
 		machines := make([]*nfa.NFA, 0, len(os))
@@ -526,7 +527,7 @@ func (s *gciSolver) solutionKey(sol map[int]*nfa.NFA, ord int) string {
 	for id := range sol {
 		ids = append(ids, id)
 	}
-	sortInts(ids)
+	sort.Ints(ids)
 	key := ""
 	for _, id := range ids {
 		fp, err := nfa.FingerprintB(s.bud, sol[id])
@@ -581,7 +582,7 @@ func pointwiseSubset(bud *budget.Budget, a, b map[int]*nfa.NFA) (bool, error) {
 	for id := range a {
 		ids = append(ids, id)
 	}
-	sortInts(ids)
+	sort.Ints(ids)
 	for _, id := range ids {
 		la := a[id]
 		lb, ok := b[id]

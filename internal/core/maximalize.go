@@ -58,11 +58,11 @@ func (m *maximizer) satisfiesTouching(v string, a Assignment) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		bad, err := nfa.IntersectB(m.bud, a.Eval(c.Lhs), notc)
+		bad, err := nfa.IntersectsB(m.bud, a.Eval(c.Lhs), notc)
 		if err != nil {
 			return false, err
 		}
-		if !bad.IsEmpty() {
+		if bad {
 			return false, nil
 		}
 	}

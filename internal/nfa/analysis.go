@@ -161,14 +161,14 @@ func (m *NFA) SampleMember(seed uint64) (string, bool) {
 		}
 		var moves []move
 		for _, e := range t.edges[s] {
-			if !coreach[e.To] {
+			if !coreach.contains(e.To) {
 				continue
 			}
 			bs := e.Label.Bytes()
 			moves = append(moves, move{to: e.To, b: bs[next(len(bs))], char: true})
 		}
 		for _, e := range t.eps[s] {
-			if coreach[e.To] {
+			if coreach.contains(e.To) {
 				moves = append(moves, move{to: e.To})
 			}
 		}

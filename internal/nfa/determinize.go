@@ -1,8 +1,7 @@
 package nfa
 
 import (
-	"fmt"
-	"strings"
+	"encoding/binary"
 
 	"dprle/internal/budget"
 )
@@ -13,10 +12,25 @@ import (
 // Determinize and consumed by Complement, Minimize, and the inclusion/
 // equivalence checks.
 type DFA struct {
-	atoms  []CharSet // pairwise-disjoint classes covering Σ
-	trans  [][]int   // trans[state][atomIndex] = successor state
+	atoms  []CharSet  // pairwise-disjoint classes covering Σ
+	atomOf [256]uint8 // byte → index into atoms, precomputed at construction
+	trans  [][]int    // trans[state][atomIndex] = successor state
 	accept []bool
 	start  int
+}
+
+// newDFA assembles a DFA and precomputes its byte→atom dispatch table, so
+// membership runs one table lookup per input byte instead of a linear scan
+// over the atom classes. atoms must partition Σ (Partition guarantees it),
+// so every byte lands in exactly one class and the table is total.
+func newDFA(atoms []CharSet, trans [][]int, accept []bool, start int) *DFA {
+	d := &DFA{atoms: atoms, trans: trans, accept: accept, start: start}
+	for i, a := range atoms {
+		for _, c := range a.Bytes() {
+			d.atomOf[c] = uint8(i)
+		}
+	}
+	return d
 }
 
 // NumStates returns the number of DFA states (including any dead state).
@@ -31,22 +45,11 @@ func (d *DFA) Accepting(s int) bool { return d.accept[s] }
 // Atoms returns the alphabet partition the DFA is defined over.
 func (d *DFA) Atoms() []CharSet { return d.atoms }
 
-// atomIndexOf returns the index of the atom containing byte c.
-func (d *DFA) atomIndexOf(c byte) int {
-	for i, a := range d.atoms {
-		if a.Contains(c) {
-			return i
-		}
-	}
-	//lint:ignore dprlelint/panicguard Partition guarantees the atom classes cover Σ
-	panic("nfa: atoms do not cover Σ")
-}
-
 // Accepts reports whether the DFA accepts w.
 func (d *DFA) Accepts(w string) bool {
 	s := d.start
 	for i := 0; i < len(w); i++ {
-		s = d.trans[s][d.atomIndexOf(w[i])]
+		s = d.trans[s][d.atomOf[w[i]]]
 	}
 	return d.accept[s]
 }
@@ -66,23 +69,17 @@ func Determinize(m *NFA) *DFA {
 // so this is where state caps bite first.
 func DeterminizeB(bud *budget.Budget, m *NFA) (*DFA, error) {
 	atoms := Partition(m.allLabels())
-	// Represent subsets canonically as sorted state-id strings.
-	key := func(set []bool) string {
-		var b strings.Builder
-		for s, in := range set {
-			if in {
-				fmt.Fprintf(&b, "%d,", s)
-			}
-		}
-		return b.String()
-	}
 	start := m.startClosure()
+	// Subsets are keyed by their raw bitset words: a fixed-width binary
+	// encoding, no per-state formatting, one string allocation per probe.
 	idx := map[string]int{}
-	var sets [][]bool
+	var sets []stateSet
 	var trans [][]int
 	var accept []bool
-	add := func(set []bool) int {
-		k := key(set)
+	scratch := make([]byte, 0, len(start)*8)
+	add := func(set stateSet) int {
+		scratch = set.appendKey(scratch[:0])
+		k := string(scratch)
 		if id, ok := idx[k]; ok {
 			return id
 		}
@@ -90,7 +87,7 @@ func DeterminizeB(bud *budget.Budget, m *NFA) (*DFA, error) {
 		idx[k] = id
 		sets = append(sets, set)
 		trans = append(trans, make([]int, len(atoms)))
-		accept = append(accept, set[m.final])
+		accept = append(accept, set.contains(m.final))
 		return id
 	}
 	add(start)
@@ -112,7 +109,7 @@ func DeterminizeB(bud *budget.Budget, m *NFA) (*DFA, error) {
 			trans[qi][ai] = add(next)
 		}
 	}
-	return &DFA{atoms: atoms, trans: trans, accept: accept, start: 0}, nil
+	return newDFA(atoms, trans, accept, 0), nil
 }
 
 // Complement returns a DFA recognizing Σ* \ L(d).
@@ -121,7 +118,7 @@ func (d *DFA) Complement() *DFA {
 	for i, a := range d.accept {
 		accept[i] = !a
 	}
-	return &DFA{atoms: d.atoms, trans: d.trans, accept: accept, start: d.start}
+	return &DFA{atoms: d.atoms, atomOf: d.atomOf, trans: d.trans, accept: accept, start: d.start}
 }
 
 // IsEmpty reports whether L(d) = ∅.
@@ -177,15 +174,16 @@ func (d *DFA) MinimizeB(bud *budget.Budget) (*DFA, error) {
 		if err := bud.Check("nfa.minimize"); err != nil {
 			return nil, err
 		}
-		// Signature of a state: (class, successor classes per atom).
+		// Signature of a state: (class, successor classes per atom),
+		// varint-encoded — one key allocation per state, no formatting.
 		sig := make([]string, n)
+		var sb []byte
 		for s := 0; s < n; s++ {
-			var b strings.Builder
-			fmt.Fprintf(&b, "%d:", class[s])
+			sb = binary.AppendUvarint(sb[:0], uint64(class[s]))
 			for _, t := range d.trans[s] {
-				fmt.Fprintf(&b, "%d,", class[t])
+				sb = binary.AppendUvarint(sb, uint64(class[t]))
 			}
-			sig[s] = b.String()
+			sig[s] = string(sb)
 		}
 		next := map[string]int{}
 		newClass := make([]int, n)
@@ -219,7 +217,7 @@ func (d *DFA) MinimizeB(bud *budget.Budget) (*DFA, error) {
 		trans[c] = row
 		accept[c] = d.accept[s]
 	}
-	return &DFA{atoms: d.atoms, trans: trans, accept: accept, start: class[d.start]}, nil
+	return &DFA{atoms: d.atoms, atomOf: d.atomOf, trans: trans, accept: accept, start: class[d.start]}, nil
 }
 
 // ToNFA converts d back to a (single-start, single-final) NFA, introducing a

@@ -14,17 +14,19 @@ func Subset(a, b *NFA) bool {
 }
 
 // SubsetB is Subset under a resource budget: the complement
-// (determinization) and the product are both accounted against bud.
+// (determinization) and the product-pair exploration are both accounted
+// against bud. The emptiness side runs through IntersectsB, which builds no
+// product machine and exits on the first counterexample path.
 func SubsetB(bud *budget.Budget, a, b *NFA) (bool, error) {
 	nb, err := ComplementB(bud, b)
 	if err != nil {
 		return false, err
 	}
-	m, err := IntersectB(bud, a, nb)
+	hit, err := IntersectsB(bud, a, nb)
 	if err != nil {
 		return false, err
 	}
-	return m.IsEmpty(), nil
+	return !hit, nil
 }
 
 // Equivalent reports whether L(a) = L(b).

@@ -2,6 +2,7 @@ package nfa
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 )
 
@@ -27,7 +28,9 @@ type EpsEdge struct {
 // single start state and a single final state, as assumed by the paper
 // (§3.2: "we assume that each NFA Mi has a single start state si and a
 // single final state fi"). NFAs are immutable once built; all operations
-// return fresh machines.
+// return fresh machines. Immutability is what makes the zero-copy views
+// (WithStart, WithFinal, Induce) sound: a view shares the backing edges/eps
+// slices and the memo caches of its origin instead of deep-copying them.
 type NFA struct {
 	edges [][]Edge    // edges[s] = character transitions out of s
 	eps   [][]EpsEdge // eps[s] = ε-transitions out of s
@@ -36,9 +39,15 @@ type NFA struct {
 
 	// canon memoizes CanonicalKey. Sound because machines are immutable
 	// once built; atomic because interned machines are shared across
-	// concurrently-running solves. Every constructor builds a fresh NFA
-	// literal, so derived machines (Copy, WithStart, …) start unmemoized.
+	// concurrently-running solves. The key depends on start/final, so
+	// views start unmemoized.
 	canon atomic.Pointer[string]
+
+	// eclo memoizes per-state ε-closures and seamfree the seam-stripped
+	// transition structure. Both depend only on the transition structure,
+	// not on start/final, so views share them with their origin.
+	eclo     *ecloCache
+	seamfree *seamMemo
 }
 
 // NumStates returns the number of states in the machine.
@@ -110,17 +119,96 @@ func (b *Builder) AddTaggedEps(from, to, tag int) {
 // NumStates returns the number of states added so far.
 func (b *Builder) NumStates() int { return len(b.edges) }
 
-// Build finalizes the machine with the given start and final states.
-// It panics if either state is out of range — machine construction is
+// Build finalizes the machine with the given start and final states,
+// normalizing each state's edge list: parallel character edges to the same
+// target are merged by unioning their labels, and duplicate ε-edges are
+// dropped. Chained cross-products re-derive the same target under many
+// label fragments; merging here keeps machine size — and the atom
+// partitions derived from edge labels — from compounding across a chain.
+// Build panics if either state is out of range — machine construction is
 // solver-internal, so an invalid state ID is a bug, not input.
 func (b *Builder) Build(start, final int) *NFA {
 	if start < 0 || start >= len(b.edges) || final < 0 || final >= len(b.edges) {
 		panic("nfa: Build with out-of-range start or final state")
 	}
-	m := &NFA{edges: b.edges, eps: b.eps, start: start, final: final}
+	m := newNFA(b.edges, b.eps, start, final)
 	b.edges = nil
 	b.eps = nil
 	return m
+}
+
+// newNFA is the internal constructor every built machine funnels through:
+// it normalizes the edge lists (see Build) and initializes the shared memo
+// caches, taking ownership of the given slices. Hot paths that can size
+// their rows exactly (Trim, IntersectB) call it directly, skipping the
+// Builder's incremental growth.
+func newNFA(edges [][]Edge, eps [][]EpsEdge, start, final int) *NFA {
+	for s := range edges {
+		edges[s] = mergeEdges(edges[s])
+	}
+	for s := range eps {
+		eps[s] = dedupEps(eps[s])
+	}
+	return &NFA{edges: edges, eps: eps, start: start, final: final,
+		eclo: newEcloCache(len(edges)), seamfree: &seamMemo{}}
+}
+
+// mergeEdges unions the labels of parallel edges (same target) in place,
+// keeping first-occurrence target order so construction stays deterministic.
+func mergeEdges(list []Edge) []Edge {
+	if len(list) < 2 {
+		return list
+	}
+	const smallMerge = 16
+	out := list[:0]
+	if len(list) <= smallMerge {
+		for _, e := range list {
+			merged := false
+			for i := range out {
+				if out[i].To == e.To {
+					out[i].Label = out[i].Label.Union(e.Label)
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	at := make(map[int]int, len(list))
+	for _, e := range list {
+		if i, ok := at[e.To]; ok {
+			out[i].Label = out[i].Label.Union(e.Label)
+			continue
+		}
+		at[e.To] = len(out)
+		out = append(out, e)
+	}
+	return out
+}
+
+// dedupEps drops duplicate ε-edges (same target and tag), keeping
+// first-occurrence order; products emit the same ε-move once per derivation.
+func dedupEps(list []EpsEdge) []EpsEdge {
+	if len(list) < 2 {
+		return list
+	}
+	out := list[:0]
+	for _, e := range list {
+		dup := false
+		for _, k := range out {
+			if k == e {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // Empty returns a machine recognizing the empty language ∅.
@@ -180,7 +268,10 @@ func AnyString() *NFA {
 	return b.Build(s, f)
 }
 
-// Copy returns a deep copy of m.
+// Copy returns a deep copy of m with its own backing storage and fresh memo
+// caches. The solver never needs this — views are cheaper and machines are
+// immutable — but it keeps an escape hatch for callers that want a machine
+// isolated from its origin.
 func (m *NFA) Copy() *NFA {
 	edges := make([][]Edge, len(m.edges))
 	eps := make([][]EpsEdge, len(m.eps))
@@ -188,23 +279,29 @@ func (m *NFA) Copy() *NFA {
 		edges[s] = append([]Edge(nil), m.edges[s]...)
 		eps[s] = append([]EpsEdge(nil), m.eps[s]...)
 	}
-	return &NFA{edges: edges, eps: eps, start: m.start, final: m.final}
+	return &NFA{edges: edges, eps: eps, start: m.start, final: m.final,
+		eclo: newEcloCache(len(edges)), seamfree: &seamMemo{}}
 }
 
-// WithStart returns a copy of m whose start state is s
-// (the paper's induce_from_start).
+// view returns a machine sharing m's transition structure and memo caches
+// but with its own start and final states. O(1): immutability makes sharing
+// the backing slices sound, and the shared ε-closure/seam memos mean work
+// done through any view benefits every other view of the same structure.
+func (m *NFA) view(start, final int) *NFA {
+	return &NFA{edges: m.edges, eps: m.eps, start: start, final: final,
+		eclo: m.eclo, seamfree: m.seamfree}
+}
+
+// WithStart returns a machine identical to m except that its start state is
+// s (the paper's induce_from_start). The result is a zero-copy view.
 func (m *NFA) WithStart(s int) *NFA {
-	c := m.Copy()
-	c.start = s
-	return c
+	return m.view(s, m.final)
 }
 
-// WithFinal returns a copy of m whose final state is f
-// (the paper's induce_from_final).
+// WithFinal returns a machine identical to m except that its final state is
+// f (the paper's induce_from_final). The result is a zero-copy view.
 func (m *NFA) WithFinal(f int) *NFA {
-	c := m.Copy()
-	c.final = f
-	return c
+	return m.view(m.start, f)
 }
 
 // TaggedEdge locates a seam ε-edge inside a machine.
@@ -238,16 +335,8 @@ func (m *NFA) Tags() []int {
 			out = append(out, e.Tag)
 		}
 	}
-	sortInts(out)
+	sort.Ints(out)
 	return out
-}
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }
 
 // allLabels returns every distinct charset used as an edge label in m.

@@ -5,6 +5,8 @@ package nfa
 // reverse, ε-closure, trimming, and the induce operations used to slice
 // solution machines out of a product machine.
 
+import "math/bits"
+
 // append-copies the states of src into b, returning the state-id offset.
 func appendMachine(b *Builder, src *NFA) int {
 	off := b.AddStates(src.NumStates())
@@ -137,45 +139,67 @@ func Reverse(m *NFA) *NFA {
 	return bl.Build(m.final, m.start)
 }
 
-// closure expands the state set `set` (a boolean vector) with everything
-// reachable via ε-transitions, tagged or not.
-func (m *NFA) closure(set []bool) {
-	stack := make([]int, 0, len(set))
-	for s, in := range set {
-		if in {
-			stack = append(stack, s)
-		}
+// eclose returns the memoized ε-closure of state s (s itself included),
+// following tagged and untagged ε-edges alike. The returned set is shared
+// across callers and views and must be treated as read-only.
+func (m *NFA) eclose(s int) stateSet {
+	if p := m.eclo.sets[s].Load(); p != nil {
+		return *p
 	}
+	set := newStateSet(m.NumStates())
+	set.add(s)
+	stack := []int{s}
 	for len(stack) > 0 {
-		s := stack[len(stack)-1]
+		q := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, e := range m.eps[s] {
-			if !set[e.To] {
-				set[e.To] = true
+		for _, e := range m.eps[q] {
+			if !set.contains(e.To) {
+				set.add(e.To)
 				stack = append(stack, e.To)
 			}
 		}
 	}
-}
-
-// startClosure returns the ε-closure of the start state as a boolean vector.
-func (m *NFA) startClosure() []bool {
-	set := make([]bool, m.NumStates())
-	set[m.start] = true
-	m.closure(set)
+	m.eclo.sets[s].Store(&set)
 	return set
 }
 
-// step advances a closed state set over input byte c and re-closes it.
-func (m *NFA) step(set []bool, c byte) []bool {
-	next := make([]bool, m.NumStates())
-	for s, in := range set {
-		if !in {
-			continue
+// closure expands the state set with everything reachable via
+// ε-transitions, tagged or not, by unioning the memoized per-state closures
+// word-at-a-time.
+func (m *NFA) closure(set stateSet) {
+	for wi := range set {
+		// Snapshot the word: any state a union adds is drawn from a
+		// transitively closed eclose set, so it never needs processing.
+		w := set[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			s := wi<<6 | b
+			if len(m.eps[s]) == 0 {
+				continue
+			}
+			set.unionWith(m.eclose(s))
 		}
-		for _, e := range m.edges[s] {
-			if e.Label.Contains(c) {
-				next[e.To] = true
+	}
+}
+
+// startClosure returns the ε-closure of the start state. The result aliases
+// the closure memo and must be treated as read-only.
+func (m *NFA) startClosure() stateSet {
+	return m.eclose(m.start)
+}
+
+// step advances a closed state set over input byte c and re-closes it.
+func (m *NFA) step(set stateSet, c byte) stateSet {
+	next := newStateSet(m.NumStates())
+	for wi, w := range set {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			for _, e := range m.edges[wi<<6|b] {
+				if e.Label.Contains(c) {
+					next.add(e.To)
+				}
 			}
 		}
 	}
@@ -188,40 +212,31 @@ func (m *NFA) Accepts(w string) bool {
 	set := m.startClosure()
 	for i := 0; i < len(w); i++ {
 		set = m.step(set, w[i])
-		if !anyTrue(set) {
+		if set.isEmpty() {
 			return false
 		}
 	}
-	return set[m.final]
-}
-
-func anyTrue(set []bool) bool {
-	for _, b := range set {
-		if b {
-			return true
-		}
-	}
-	return false
+	return set.contains(m.final)
 }
 
 // reachable returns the set of states reachable from the start state via any
 // transition (character or ε).
-func (m *NFA) reachable() []bool {
-	seen := make([]bool, m.NumStates())
-	seen[m.start] = true
+func (m *NFA) reachable() stateSet {
+	seen := newStateSet(m.NumStates())
+	seen.add(m.start)
 	stack := []int{m.start}
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, e := range m.edges[s] {
-			if !seen[e.To] {
-				seen[e.To] = true
+			if !seen.contains(e.To) {
+				seen.add(e.To)
 				stack = append(stack, e.To)
 			}
 		}
 		for _, e := range m.eps[s] {
-			if !seen[e.To] {
-				seen[e.To] = true
+			if !seen.contains(e.To) {
+				seen.add(e.To)
 				stack = append(stack, e.To)
 			}
 		}
@@ -231,26 +246,45 @@ func (m *NFA) reachable() []bool {
 
 // coreachable returns the set of states from which the final state is
 // reachable.
-func (m *NFA) coreachable() []bool {
-	// Build reverse adjacency once.
-	radj := make([][]int, m.NumStates())
-	for s := 0; s < m.NumStates(); s++ {
+func (m *NFA) coreachable() stateSet {
+	n := m.NumStates()
+	// Reverse adjacency in CSR form: counting pass, prefix sums, fill. Two
+	// flat allocations instead of one growing slice per state — on big
+	// product machines the per-state appends used to dominate Trim.
+	off := make([]int32, n+1)
+	for s := 0; s < n; s++ {
 		for _, e := range m.edges[s] {
-			radj[e.To] = append(radj[e.To], s)
+			off[e.To+1]++
 		}
 		for _, e := range m.eps[s] {
-			radj[e.To] = append(radj[e.To], s)
+			off[e.To+1]++
 		}
 	}
-	seen := make([]bool, m.NumStates())
-	seen[m.final] = true
-	stack := []int{m.final}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	radj := make([]int32, off[n])
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	for s := 0; s < n; s++ {
+		for _, e := range m.edges[s] {
+			radj[cur[e.To]] = int32(s)
+			cur[e.To]++
+		}
+		for _, e := range m.eps[s] {
+			radj[cur[e.To]] = int32(s)
+			cur[e.To]++
+		}
+	}
+	seen := newStateSet(n)
+	seen.add(m.final)
+	stack := []int32{int32(m.final)}
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, p := range radj[s] {
-			if !seen[p] {
-				seen[p] = true
+		for _, p := range radj[off[s]:off[s+1]] {
+			if !seen.contains(int(p)) {
+				seen.add(int(p))
 				stack = append(stack, p)
 			}
 		}
@@ -258,9 +292,40 @@ func (m *NFA) coreachable() []bool {
 	return seen
 }
 
-// IsEmpty reports whether L(m) = ∅.
+// IsEmpty reports whether L(m) = ∅, i.e. the final state is unreachable
+// from the start state. The search exits as soon as the final state is
+// seen, which matters for the induce loop: span views are usually nonempty
+// and a witness path is found long before the whole machine is swept.
 func (m *NFA) IsEmpty() bool {
-	return !m.reachable()[m.final]
+	if m.start == m.final {
+		return false
+	}
+	seen := newStateSet(m.NumStates())
+	seen.add(m.start)
+	stack := []int{m.start}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range m.edges[s] {
+			if e.To == m.final {
+				return false
+			}
+			if !seen.contains(e.To) {
+				seen.add(e.To)
+				stack = append(stack, e.To)
+			}
+		}
+		for _, e := range m.eps[s] {
+			if e.To == m.final {
+				return false
+			}
+			if !seen.contains(e.To) {
+				seen.add(e.To)
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return true
 }
 
 // Trim returns an equivalent machine containing only states that lie on some
@@ -270,11 +335,13 @@ func (m *NFA) IsEmpty() bool {
 func (m *NFA) Trim() *NFA {
 	reach := m.reachable()
 	coreach := m.coreachable()
-	keep := make([]int, m.NumStates())
-	bl := NewBuilder()
-	for s := 0; s < m.NumStates(); s++ {
-		if reach[s] && coreach[s] {
-			keep[s] = bl.AddState()
+	n := m.NumStates()
+	keep := make([]int, n)
+	nk := 0
+	for s := 0; s < n; s++ {
+		if reach.contains(s) && coreach.contains(s) {
+			keep[s] = nk
+			nk++
 		} else {
 			keep[s] = -1
 		}
@@ -282,58 +349,129 @@ func (m *NFA) Trim() *NFA {
 	if keep[m.start] < 0 || keep[m.final] < 0 {
 		return Empty()
 	}
-	for s := 0; s < m.NumStates(); s++ {
+	// Count surviving edges, then fill rows carved out of two flat backing
+	// arrays: a fixed number of allocations regardless of machine size.
+	totE, totP := 0, 0
+	for s := 0; s < n; s++ {
 		if keep[s] < 0 {
 			continue
 		}
 		for _, e := range m.edges[s] {
 			if keep[e.To] >= 0 {
-				bl.AddEdge(keep[s], e.Label, keep[e.To])
+				totE++
 			}
 		}
 		for _, e := range m.eps[s] {
-			if keep[e.To] < 0 {
+			if keep[e.To] >= 0 {
+				totP++
+			}
+		}
+	}
+	edges := make([][]Edge, nk)
+	eps := make([][]EpsEdge, nk)
+	flatE := make([]Edge, 0, totE)
+	flatP := make([]EpsEdge, 0, totP)
+	for s := 0; s < n; s++ {
+		ns := keep[s]
+		if ns < 0 {
+			continue
+		}
+		le := len(flatE)
+		for _, e := range m.edges[s] {
+			if keep[e.To] >= 0 {
+				flatE = append(flatE, Edge{Label: e.Label, To: keep[e.To]})
+			}
+		}
+		if len(flatE) > le {
+			edges[ns] = flatE[le:len(flatE):len(flatE)]
+		}
+		lp := len(flatP)
+		for _, e := range m.eps[s] {
+			if keep[e.To] >= 0 {
+				flatP = append(flatP, EpsEdge{To: keep[e.To], Tag: e.Tag})
+			}
+		}
+		if len(flatP) > lp {
+			eps[ns] = flatP[lp:len(flatP):len(flatP)]
+		}
+	}
+	return newNFA(edges, eps, keep[m.start], keep[m.final])
+}
+
+// DropSeams returns a machine recognizing m's language over m's states with
+// every tagged ε-edge removed. A string belonging to a single concatenation
+// operand never crosses a seam, so induced operand machines are seam-free.
+// The result is a zero-copy view over a memoized seam-stripped transition
+// structure: the strip is computed once per machine (shared by all views)
+// and each call afterwards costs one struct allocation.
+func (m *NFA) DropSeams() *NFA {
+	return m.seamFree().view(m.start, m.final)
+}
+
+// seamFree returns the machine whose transition structure is m's with every
+// tagged ε-edge removed, memoized on the shared seamMemo. Character edges
+// are always shared with m; ε-edge lists are shared per state unless the
+// state actually carries a seam. A seam-free machine memoizes itself, so
+// repeated stripping is free.
+func (m *NFA) seamFree() *NFA {
+	if sf := m.seamfree.p.Load(); sf != nil {
+		return sf
+	}
+	hasSeams := false
+	for s := range m.eps {
+		for _, e := range m.eps[s] {
+			if e.Tag != NoTag {
+				hasSeams = true
+				break
+			}
+		}
+		if hasSeams {
+			break
+		}
+	}
+	sf := m
+	if hasSeams {
+		eps := make([][]EpsEdge, len(m.eps))
+		for s := range m.eps {
+			list := m.eps[s]
+			tagged := false
+			for _, e := range list {
+				if e.Tag != NoTag {
+					tagged = true
+					break
+				}
+			}
+			if !tagged {
+				eps[s] = list
 				continue
 			}
-			if e.Tag == NoTag {
-				bl.AddEps(keep[s], keep[e.To])
-			} else {
-				bl.AddTaggedEps(keep[s], keep[e.To], e.Tag)
+			var kept []EpsEdge
+			for _, e := range list {
+				if e.Tag == NoTag {
+					kept = append(kept, e)
+				}
 			}
+			eps[s] = kept
 		}
+		sf = &NFA{edges: m.edges, eps: eps, start: m.start, final: m.final,
+			eclo: newEcloCache(len(m.edges)), seamfree: &seamMemo{}}
+		sf.seamfree.p.Store(sf)
 	}
-	return bl.Build(keep[m.start], keep[m.final])
+	m.seamfree.p.Store(sf)
+	return sf
 }
 
-// DropSeams returns a copy of m with every tagged ε-edge removed. A string
-// belonging to a single concatenation operand never crosses a seam, so
-// induced operand machines are built seam-free.
-func (m *NFA) DropSeams() *NFA {
-	bl := NewBuilder()
-	bl.AddStates(m.NumStates())
-	for s := 0; s < m.NumStates(); s++ {
-		for _, e := range m.edges[s] {
-			bl.AddEdge(s, e.Label, e.To)
-		}
-		for _, e := range m.eps[s] {
-			if e.Tag == NoTag {
-				bl.AddEps(s, e.To)
-			}
-		}
-	}
-	return bl.Build(m.start, m.final)
-}
-
-// Induce returns the seam-free sub-machine of m spanning the given start and
-// final states, trimmed. This generalizes the paper's induce_from_final
+// Induce returns the seam-free sub-machine of m spanning the given start
+// and final states. This generalizes the paper's induce_from_final
 // (final := seam source) and induce_from_start (start := seam target) to
 // arbitrary spans, which is what gci needs for variables in the middle of a
-// concatenation chain.
+// concatenation chain. The result is a zero-copy view sharing the memoized
+// seam-free structure — O(1) per call where it used to deep-copy and trim
+// the whole machine — so it may carry states useless for the new span;
+// callers that need a structurally trimmed machine chain .Trim(), which
+// preserves the language.
 func (m *NFA) Induce(start, final int) *NFA {
-	c := m.DropSeams()
-	c.start = start
-	c.final = final
-	return c.Trim()
+	return m.seamFree().view(start, final)
 }
 
 // ShortestWitness returns the shortest string in L(m), and among the
@@ -387,13 +525,13 @@ func (m *NFA) ShortestWitness() (string, bool) {
 		}
 	}
 
-	minDist := func(set []bool) int {
+	minDist := func(set stateSet) int {
 		d := inf
-		for s, in := range set {
-			if in && dist[s] < d {
+		set.forEach(func(s int) {
+			if dist[s] < d {
 				d = dist[s]
 			}
-		}
+		})
 		return d
 	}
 
@@ -407,14 +545,11 @@ func (m *NFA) ShortestWitness() (string, bool) {
 	out := make([]byte, 0, remaining)
 	for ; remaining > 0; remaining-- {
 		avail := EmptySet()
-		for s, in := range set {
-			if !in {
-				continue
-			}
+		set.forEach(func(s int) {
 			for _, e := range m.edges[s] {
 				avail = avail.Union(e.Label)
 			}
-		}
+		})
 		advanced := false
 		for _, b := range avail.Bytes() {
 			next := m.step(set, b)
@@ -440,7 +575,7 @@ func (m *NFA) ShortestWitness() (string, bool) {
 func (m *NFA) Enumerate(maxLen, maxCount int) []string {
 	var out []string
 	type item struct {
-		set []bool
+		set stateSet
 		str string
 	}
 	start := m.startClosure()
@@ -448,7 +583,7 @@ func (m *NFA) Enumerate(maxLen, maxCount int) []string {
 	for len(queue) > 0 && len(out) < maxCount {
 		it := queue[0]
 		queue = queue[1:]
-		if it.set[m.final] {
+		if it.set.contains(m.final) {
 			out = append(out, it.str)
 			if len(out) >= maxCount {
 				break
@@ -457,28 +592,15 @@ func (m *NFA) Enumerate(maxLen, maxCount int) []string {
 		if len(it.str) >= maxLen {
 			continue
 		}
-		// Group outgoing labels into atoms so we only branch on
-		// distinguishable bytes, then take each atom's minimum byte last—
-		// no: enumerate every byte to stay exact.
-		var labels []CharSet
-		for s, in := range it.set {
-			if !in {
-				continue
-			}
-			for _, e := range m.edges[s] {
-				labels = append(labels, e.Label)
-			}
-		}
-		if len(labels) == 0 {
-			continue
-		}
 		avail := EmptySet()
-		for _, l := range labels {
-			avail = avail.Union(l)
-		}
+		it.set.forEach(func(s int) {
+			for _, e := range m.edges[s] {
+				avail = avail.Union(e.Label)
+			}
+		})
 		for _, b := range avail.Bytes() {
 			next := m.step(it.set, b)
-			if anyTrue(next) {
+			if !next.isEmpty() {
 				queue = append(queue, item{set: next, str: it.str + string([]byte{b})})
 			}
 		}
